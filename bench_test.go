@@ -1,0 +1,300 @@
+package dui
+
+// One benchmark per experiment of the paper (DESIGN.md §3). The benches
+// run reduced-scale versions so `go test -bench=. -benchmem` finishes in
+// minutes; the cmd/ binaries run the full paper parameters. Reported
+// custom metrics carry each experiment's headline number so a bench run
+// doubles as a regression check on the reproduced shapes.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dui/internal/blink"
+	"dui/internal/conntrack"
+	"dui/internal/dapper"
+	"dui/internal/graph"
+	"dui/internal/nethide"
+	"dui/internal/pcc"
+	"dui/internal/pytheas"
+	"dui/internal/sketch"
+	"dui/internal/sppifo"
+	"dui/internal/stats"
+	"dui/internal/trace"
+)
+
+// BenchmarkE1BlinkFig2 regenerates Fig 2 at reduced run count.
+func BenchmarkE1BlinkFig2(b *testing.B) {
+	var hit float64
+	for i := 0; i < b.N; i++ {
+		res := RunFig2(Fig2Config{Runs: 2, Duration: 300, Seed: uint64(i + 1), MeanFlowDuration: 6.35})
+		hit = stats.Mean(res.HitTimes)
+	}
+	b.ReportMetric(hit, "mean-hit-s")
+}
+
+// BenchmarkE2PrefixSurvey regenerates the tR survey.
+func BenchmarkE2PrefixSurvey(b *testing.B) {
+	var med float64
+	for i := 0; i < b.N; i++ {
+		prefixes := SyntheticSurvey(6, uint64(i+1))
+		rows := RunSurvey(BlinkConfig{}, prefixes, 200, uint64(i+1))
+		trs := make([]float64, len(rows))
+		for j, r := range rows {
+			trs[j] = r.TR
+		}
+		med = stats.Median(trs)
+	}
+	b.ReportMetric(med, "median-tR-s")
+}
+
+// BenchmarkE3BlinkHijack runs the end-to-end hijack.
+func BenchmarkE3BlinkHijack(b *testing.B) {
+	var cells float64
+	for i := 0; i < b.N; i++ {
+		res := RunHijack(HijackConfig{Seed: uint64(i + 1), TriggerAt: 100, Duration: 120})
+		cells = float64(res.MaliciousCellsAtTrigger)
+	}
+	b.ReportMetric(cells, "malicious-cells")
+}
+
+// BenchmarkE4PCCOscillation runs the attacked PCC flow.
+func BenchmarkE4PCCOscillation(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res := RunOscillation(OscConfig{Duration: 60, Seed: uint64(i + 1), Attack: true})
+		rate = res.Flows[0].MeanRateLate
+	}
+	b.ReportMetric(rate, "pinned-rate-pps")
+}
+
+// BenchmarkE5PytheasPoisoning runs the group-poisoning attack.
+func BenchmarkE5PytheasPoisoning(b *testing.B) {
+	var qoe float64
+	for i := 0; i < b.N; i++ {
+		cfg := PytheasConfig{Seed: uint64(i + 1), Sessions: 600, Epochs: 150}
+		res := RunPytheas(cfg, pytheas.Poison{Bots: 90, ReportMultiplier: 5}.Defaults())
+		qoe = res.HonestQoELate
+	}
+	b.ReportMetric(qoe, "poisoned-qoe")
+}
+
+// BenchmarkE6NetHide runs obfuscation + attacker evaluation on Abilene.
+func BenchmarkE6NetHide(b *testing.B) {
+	g := graph.Abilene()
+	pairs := nethide.AllPairs(g)
+	var success float64
+	for i := 0; i < b.N; i++ {
+		virt, _ := Obfuscate(g, pairs, NetHideConfig{DensityCap: 30}, uint64(i+1))
+		out := nethide.EvaluateAttack(nethide.ShortestPaths(g, pairs), nethide.Survey(virt, pairs), 0)
+		success = out.Success
+	}
+	b.ReportMetric(success, "attack-success")
+}
+
+// BenchmarkE7aSPPIFO runs the adversarial-rank comparison.
+func BenchmarkE7aSPPIFO(b *testing.B) {
+	var amp float64
+	for i := 0; i < b.N; i++ {
+		out := sppifo.Experiment{Seed: uint64(i + 1), Victims: 1000}.Run()
+		amp = out.Amplification
+	}
+	b.ReportMetric(amp, "amplification")
+}
+
+// BenchmarkE7bSketchPollution runs the FlowRadar pollution attack.
+func BenchmarkE7bSketchPollution(b *testing.B) {
+	var hidden float64
+	for i := 0; i < b.N; i++ {
+		rows := sketch.PollutionExperiment{Seed: uint64(i + 1), LegitFlows: 800}.Run([]int{300})
+		for _, r := range rows {
+			if r.Crafted {
+				hidden = 1 - r.AttackDecoded
+			}
+		}
+	}
+	b.ReportMetric(hidden, "attack-flows-hidden")
+}
+
+// BenchmarkE7cRONProbes runs the probe-manipulation attack.
+func BenchmarkE7cRONProbes(b *testing.B) {
+	var inflation float64
+	for i := 0; i < b.N; i++ {
+		out := RunProbeAttack(8, uint64(i+1), 0.2)
+		inflation = out.Inflation
+	}
+	b.ReportMetric(inflation, "latency-inflation")
+}
+
+// BenchmarkE8Defenses runs the Blink supervisor against the hijack.
+func BenchmarkE8Defenses(b *testing.B) {
+	clean := RunFailover(FailoverConfig{FailAt: 0, Duration: 15})
+	model := NewRTOModel(clean.SRTTs, 0.2)
+	var vetoed float64
+	for i := 0; i < b.N; i++ {
+		res := RunHijack(HijackConfig{
+			Seed: uint64(i + 1), TriggerAt: 100, Duration: 120,
+			Hook: func(p *blink.Pipeline) { GuardPipeline(p, model) },
+		})
+		vetoed = float64(res.VetoedReroutes)
+	}
+	b.ReportMetric(vetoed, "vetoed-reroutes")
+}
+
+// BenchmarkSubstrateFlowSelector measures the hot data-plane path: one
+// packet through Blink's flow selector.
+func BenchmarkSubstrateFlowSelector(b *testing.B) {
+	m := blink.NewMonitor(blink.Config{})
+	st := trace.NewLegit(trace.LegitConfig{
+		Victim: blink.Victim, Flows: 500, Dur: trace.ExpDuration{MeanSec: 6},
+		PPS: 2, Until: math.Inf(1), SrcBase: blink.LegitSrcBase,
+	}, stats.NewRNG(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, _ := st.Next()
+		m.Feed(ev.Time, ev.Pkt)
+	}
+}
+
+func BenchmarkSubstrateSketchAdd(b *testing.B) {
+	fr := sketch.New(4096, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.Add(sketch.FlowID(i))
+	}
+}
+
+func BenchmarkSubstratePCCUtility(b *testing.B) {
+	var u float64
+	for i := 0; i < b.N; i++ {
+		u = pcc.Allegro(float64(i%1000)+1, float64(i%50)/1000)
+	}
+	_ = u
+}
+
+// BenchmarkE7dDAPPERMisblaming runs the diagnosis mis-blaming attack.
+func BenchmarkE7dDAPPERMisblaming(b *testing.B) {
+	var flipped float64
+	for i := 0; i < b.N; i++ {
+		out := RunDapper(TrueSender, InjectRetransmissions, 15)
+		if out.Diagnosis == dapper.NetworkLimited {
+			flipped = 1
+		}
+	}
+	b.ReportMetric(flipped, "diagnosis-flipped")
+}
+
+// BenchmarkE7eStateExhaustion runs the SilkRoad-style SYN flood.
+func BenchmarkE7eStateExhaustion(b *testing.B) {
+	var broken float64
+	for i := 0; i < b.N; i++ {
+		res := RunStateExhaustion(conntrack.ExhaustionConfig{Seed: uint64(i + 1), AttackSYNRate: 2000})
+		broken = res.BrokenFraction
+	}
+	b.ReportMetric(broken, "broken-fraction")
+}
+
+// BenchmarkE7fBNNEvasion runs the adversarial-example search.
+func BenchmarkE7fBNNEvasion(b *testing.B) {
+	var evasion float64
+	for i := 0; i < b.N; i++ {
+		_, rows := RunBNNEvasion(uint64(i)|1, []int{4})
+		for _, r := range rows {
+			if r.Crafted {
+				evasion = r.SuccessRate
+			}
+		}
+	}
+	b.ReportMetric(evasion, "evasion-rate")
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationBlinkEviction sweeps the flow-selector inactivity
+// timeout: shorter eviction shortens tR, making the attack easier —
+// the defender's dilemma (longer timeouts slow legitimate sampling).
+func BenchmarkAblationBlinkEviction(b *testing.B) {
+	for _, timeout := range []float64{1, 2, 4} {
+		timeout := timeout
+		b.Run(fmt.Sprintf("timeout=%.0fs", timeout), func(b *testing.B) {
+			var tr float64
+			for i := 0; i < b.N; i++ {
+				tr = blink.MeasureTR(blink.Config{InactivityTimeout: timeout}, 300,
+					trace.ExpDuration{MeanSec: 6}, 2, 60, 10, stats.NewRNG(uint64(i+1)))
+			}
+			b.ReportMetric(tr, "tR-s")
+			b.ReportMetric(RequiredQm(64, 32, tr, 510, 0.95), "required-qm")
+		})
+	}
+}
+
+// BenchmarkAblationBlinkResetPeriod sweeps the sample-reset period tB
+// (the attacker's time budget): required qm falls as tB grows.
+func BenchmarkAblationBlinkResetPeriod(b *testing.B) {
+	for _, tb := range []float64{120, 510, 1800} {
+		tb := tb
+		b.Run(fmt.Sprintf("tB=%.0fs", tb), func(b *testing.B) {
+			var qm float64
+			for i := 0; i < b.N; i++ {
+				qm = RequiredQm(64, 32, 8.37, tb, 0.95)
+			}
+			b.ReportMetric(qm, "required-qm")
+		})
+	}
+}
+
+// BenchmarkAblationPCCUtility compares utility shapes under the
+// equalizer: the sigmoid cliff (Allegro) vs a loss-linear utility.
+func BenchmarkAblationPCCUtility(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		u    pcc.Utility
+	}{{"allegro", pcc.Allegro}, {"linear", pcc.Linear}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				res := RunOscillation(OscConfig{Duration: 60, Seed: uint64(i + 1), Attack: true, Utility: tc.u})
+				rate = res.Flows[0].MeanRateLate
+			}
+			b.ReportMetric(rate, "pinned-rate-pps")
+		})
+	}
+}
+
+// BenchmarkAblationSketchSizing sweeps table size against a fixed crafted
+// attack: bigger tables resist longer but the stopping set scales with
+// the targeted region, not the table.
+func BenchmarkAblationSketchSizing(b *testing.B) {
+	for _, m := range []int{2048, 4096, 8192} {
+		m := m
+		b.Run(fmt.Sprintf("cells=%d", m), func(b *testing.B) {
+			var hidden float64
+			for i := 0; i < b.N; i++ {
+				rows := sketch.PollutionExperiment{M: m, Seed: uint64(i + 1)}.Run([]int{400})
+				for _, r := range rows {
+					if r.Crafted {
+						hidden = 1 - r.AttackDecoded
+					}
+				}
+			}
+			b.ReportMetric(hidden, "attack-flows-hidden")
+		})
+	}
+}
+
+// BenchmarkAblationSPPIFOQueues sweeps the queue count against the
+// adversarial sequence.
+func BenchmarkAblationSPPIFOQueues(b *testing.B) {
+	for _, k := range []int{4, 8, 16} {
+		k := k
+		b.Run(fmt.Sprintf("queues=%d", k), func(b *testing.B) {
+			var amp float64
+			for i := 0; i < b.N; i++ {
+				amp = RunSPPIFO(k, uint64(i+1)).Amplification
+			}
+			b.ReportMetric(amp, "amplification")
+		})
+	}
+}

@@ -1,0 +1,96 @@
+// Command dataplane-attacks runs the §3.2 breadth experiments: the
+// SP-PIFO adversarial rank sequence, the FlowRadar/Bloom pollution
+// attacks, and the RON probe-manipulation attack.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dui"
+	"dui/internal/conntrack"
+	"dui/internal/ron"
+	"dui/internal/sketch"
+	"dui/internal/sppifo"
+	"dui/internal/stats"
+)
+
+func main() {
+	var seed = flag.Uint64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	fmt.Printf("§3.2 breadth attacks\n")
+
+	// SP-PIFO: adversarial rank sequences vs the random-arrival design
+	// assumption, across queue counts (the ablation DESIGN.md calls out).
+	fmt.Printf("\n[SP-PIFO] excess unpifoness over an ideal PIFO (same arrivals)\n")
+	fmt.Printf("%-8s %14s %14s %14s %12s\n", "queues", "random ranks", "adversarial", "amplification", "victim delay")
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		out := dui.RunSPPIFO(k, *seed)
+		fmt.Printf("%-8d %14d %14d %13.1fx %9.1f pkt\n",
+			k, out.RandomExcess, out.AdversarialExcess, out.Amplification, out.Adversarial.VictimDelay)
+	}
+	_ = sppifo.Sawtooth // alternative pattern available in the package
+
+	// FlowRadar pollution.
+	fmt.Printf("\n[FlowRadar] crafted vs random extra flows (4096 cells, k=3, 1500 legit flows)\n")
+	fmt.Printf("%-14s %10s | %14s %14s %10s\n", "attack flows", "crafted", "legit decoded", "attack decoded", "residue")
+	rows := dui.RunSketchPollution(*seed, []int{200, 400, 800, 3000})
+	for _, r := range rows {
+		fmt.Printf("%-14d %10v | %13.1f%% %13.1f%% %10d\n",
+			r.AttackFlows, r.Crafted, 100*r.LegitDecoded, 100*r.AttackDecoded, r.Residue)
+	}
+	vic, others := sketch.PollutionExperiment{Seed: *seed}.RunTargeted(400, 2)
+	fmt.Printf("targeted hiding: victim flow decoded=%v, other legit flows decoded=%.1f%%\n", vic, 100*others)
+
+	rng := stats.NewRNG(*seed)
+	randomN := sketch.SaturationInsertions(4096, 3, 0.5, false, rng.Child())
+	craftedN := sketch.SaturationInsertions(4096, 3, 0.5, true, rng.Child())
+	fmt.Printf("bloom saturation to 50%% FPR: crafted %d insertions vs random %d (%.1fx advantage)\n",
+		craftedN, randomN, float64(randomN)/float64(craftedN))
+
+	// RON probe manipulation.
+	fmt.Printf("\n[RON] probe-only tampering on an 8-node overlay, victim pair (0,1)\n")
+	delay := dui.RunProbeAttack(8, *seed, 0.2)
+	fmt.Printf("  delay probes +200ms: diverted=%v, data latency %.1fms -> %.1fms (x%.2f), budget %.2f%% of packets\n",
+		delay.Diverted, 1000*delay.CleanLatency, 1000*delay.AttackedLatency, delay.Inflation, 100*delay.TamperBudget)
+	drop := ron.RunProbeAttack(8, *seed, func(o *ron.Overlay) (ron.ProbeTamper, int) {
+		return ron.DropProbes(0, 1), -1
+	}, 0, 1)
+	fmt.Printf("  drop probes (fake dead path): diverted=%v, data latency x%.2f\n", drop.Diverted, drop.Inflation)
+	steer := ron.RunProbeAttack(8, *seed, func(o *ron.Overlay) (ron.ProbeTamper, int) {
+		return ron.SteerVia(0, 1, 5, 0.2), 5
+	}, 0, 1)
+	fmt.Printf("  steer via attacker node 5: routed through it=%v (privacy: attacker now on-path)\n", steer.ViaAttacker)
+
+	// DAPPER diagnosis mis-blaming.
+	fmt.Printf("\n[DAPPER] TCP diagnosis confusion matrix (rows: ground truth; columns: attack)\n")
+	fmt.Printf("%-10s | %-16s %-22s %-16s %-16s\n", "truth", "none", "inject-retrans", "shrink-window", "inflate-window")
+	matrix := dui.DapperConfusionMatrix(25)
+	byKey := map[[2]string]string{}
+	for _, o := range matrix {
+		byKey[[2]string{o.Scenario.String(), o.Attack.String()}] = o.Diagnosis.String()
+	}
+	for _, sc := range []string{"network", "receiver", "sender"} {
+		fmt.Printf("%-10s | %-16s %-22s %-16s %-16s\n", sc,
+			byKey[[2]string{sc, "none"}], byKey[[2]string{sc, "inject-retransmissions"}],
+			byKey[[2]string{sc, "shrink-window"}], byKey[[2]string{sc, "inflate-window"}])
+	}
+
+	// SilkRoad-style state exhaustion.
+	fmt.Printf("\n[per-connection state] 4000-entry table, 1000 legit connections, pool update at t=30s\n")
+	fmt.Printf("%-14s %14s %14s %14s\n", "SYN flood/s", "occupancy", "broken legit", "rejected")
+	for _, rate := range []float64{0, 900, 2000, 4000} {
+		res := dui.RunStateExhaustion(conntrack.ExhaustionConfig{Seed: *seed, AttackSYNRate: rate})
+		fmt.Printf("%-14.0f %14d %13.0f%% %14d\n", rate, res.TableOccupancy, 100*res.BrokenFraction, res.Rejected)
+	}
+
+	// In-network BNN adversarial examples.
+	fmt.Printf("\n[in-network BNN] adversarial header-bit flips vs the line-rate classifier\n")
+	acc, rows2 := dui.RunBNNEvasion(*seed|1, []int{1, 2, 4, 6})
+	fmt.Printf("student accuracy vs ground truth: %.1f%%\n", 100*acc)
+	fmt.Printf("%-8s | %-10s %14s %12s\n", "budget", "crafted", "evasion rate", "mean flips")
+	for _, r := range rows2 {
+		fmt.Printf("%-8d | %-10v %13.0f%% %12.1f\n", r.Budget, r.Crafted, 100*r.SuccessRate, r.MeanFlips)
+	}
+}

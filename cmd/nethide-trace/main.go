@@ -1,0 +1,78 @@
+// Command nethide-trace runs the §4.3 experiments: NetHide-style topology
+// obfuscation (security/accuracy/utility trade-off across topologies and
+// density caps), the traceroute view an external prober reconstructs, the
+// link-flooding attacker's degraded success, and the malicious-operator
+// variant that hides the true bottleneck link entirely.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dui"
+	"dui/internal/graph"
+	"dui/internal/nethide"
+	"dui/internal/stats"
+)
+
+func main() {
+	var seed = flag.Uint64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	topos := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"abilene", dui.Abilene()},
+		{"fattree4", dui.FatTree(4)},
+		{"rand16", graph.RandomConnected(16, 24, stats.NewRNG(*seed))},
+	}
+
+	fmt.Printf("§4.3 / NetHide — topology obfuscation and traceroute deception\n\n")
+	fmt.Printf("%-9s %5s | %8s %8s | %8s %8s | %12s\n",
+		"topology", "cap", "physMax", "virtMax", "accuracy", "utility", "attackSuccess")
+	for _, tc := range topos {
+		pairs := nethide.AllPairs(tc.g)
+		phys := nethide.ShortestPaths(tc.g, pairs)
+		_, physMax := phys.MaxDensity()
+		for _, frac := range []float64{0.75, 0.5} {
+			cap := int(frac * float64(physMax))
+			virt, m := dui.Obfuscate(tc.g, pairs, dui.NetHideConfig{DensityCap: cap}, *seed)
+			atk := nethide.EvaluateAttack(phys, nethide.Survey(virt, pairs), 0)
+			fmt.Printf("%-9s %5d | %8d %8d | %8.3f %8.3f | %12.2f\n",
+				tc.name, cap, m.MaxDensityPhys, m.MaxDensityVirt, m.Accuracy, m.Utility, atk.Success)
+		}
+	}
+
+	// Malicious operator: hide the true bottleneck entirely.
+	g := dui.Abilene()
+	pairs := nethide.AllPairs(g)
+	phys := nethide.ShortestPaths(g, pairs)
+	hot, hotD := phys.MaxDensity()
+	lie := dui.MaliciousTopology(g, pairs, hot.A, hot.B)
+	view := nethide.Survey(lie, pairs)
+	met := nethide.Evaluate(phys, view)
+	atk := nethide.EvaluateAttack(phys, view, 0)
+	fmt.Printf("\nmalicious operator on Abilene: hides the hottest link %s–%s (density %d)\n",
+		g.Name(hot.A), g.Name(hot.B), hotD)
+	fmt.Printf("  hidden link visible in any traceroute: %v\n", nethide.HiddenLinkVisible(view, hot.A, hot.B))
+	fmt.Printf("  view accuracy: %.3f   utility: %.3f (the lie is unconstrained)\n", met.Accuracy, met.Utility)
+	fmt.Printf("  attacker planning on the lie achieves %.0f%% of the ground-truth attack\n", 100*atk.Success)
+
+	// Show one concrete traceroute before/after.
+	src, _ := g.NodeByName("SEA")
+	dst, _ := g.NodeByName("NYC")
+	fmt.Printf("\ntraceroute SEA->NYC, truth: %s\n", renderPath(g, dui.Traceroute(phys, src, dst)))
+	fmt.Printf("traceroute SEA->NYC, lie:   %s\n", renderPath(g, dui.Traceroute(lie, src, dst)))
+}
+
+func renderPath(g *graph.Graph, hops []graph.NodeID) string {
+	s := ""
+	for i, h := range hops {
+		if i > 0 {
+			s += " -> "
+		}
+		s += g.Name(h)
+	}
+	return s
+}

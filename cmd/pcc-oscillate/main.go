@@ -1,0 +1,52 @@
+// Command pcc-oscillate runs the §4.2 experiment: PCC Allegro flows with
+// and without the MitM utility equalizer. Clean flows climb to the
+// bottleneck capacity; attacked flows stay pinned near their start rate,
+// endlessly re-running inconclusive or punished experiments, at a drop
+// budget of well under a percent of packets. With many flows toward one
+// destination the aggregate arrival rate is depressed and destabilized.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dui"
+)
+
+func main() {
+	var (
+		flows    = flag.Int("flows", 1, "concurrent PCC flows to one destination")
+		duration = flag.Float64("duration", 120, "horizon (s)")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		capacity = flag.Float64("capacity", 1000, "per-flow bottleneck capacity (pkts/s)")
+		miTrace  = flag.Bool("mitrace", false, "dump flow 0's monitor-interval records")
+	)
+	flag.Parse()
+
+	clean := dui.RunOscillation(dui.OscConfig{
+		Flows: *flows, Duration: *duration, Seed: *seed, CapacityPPS: *capacity,
+	})
+	attacked := dui.RunOscillation(dui.OscConfig{
+		Flows: *flows, Duration: *duration, Seed: *seed, CapacityPPS: *capacity, Attack: true,
+	})
+
+	fmt.Printf("§4.2 PCC under the utility equalizer — %d flow(s), capacity %.0f pkts/s\n\n", *flows, *capacity)
+	fmt.Printf("%-22s %14s %14s\n", "", "clean", "attacked")
+	fmt.Printf("%-22s %12.0f %14.0f   pkts/s (late mean base rate)\n", "rate", clean.MeanRateLate, attacked.MeanRateLate)
+	fmt.Printf("%-22s %13.1f%% %13.1f%%  (peak-to-peak / mean, late)\n", "rate oscillation",
+		100*clean.Flows[0].OscAmplitude, 100*attacked.Flows[0].OscAmplitude)
+	fmt.Printf("%-22s %13.2f%% %13.2f%%\n", "aggregate arrival CV", 100*clean.AggCV, 100*attacked.AggCV)
+	fmt.Printf("%-22s %14s %13.2f%%  of packets dropped by the MitM\n", "attack budget", "-", 100*attacked.DropFraction)
+
+	_, amp := dui.ForcedOscillation(0.01, 0.05, 10)
+	fmt.Printf("\nanalytic §4.2 model: with every trial tied, ε escalates 0.01→0.05 and the rate\n")
+	fmt.Printf("fluctuates ±5%% forever (peak-to-peak %.0f%% of base) without converging.\n", 100*amp)
+
+	if *miTrace {
+		fmt.Printf("\nflow 0 monitor intervals (attacked):\n")
+		for _, r := range attacked.Records {
+			fmt.Printf("  t=%6.1f rate=%7.1f role=%-7s loss=%.3f u=%9.2f eps=%.2f state=%s\n",
+				r.Start, r.Rate, r.Role, r.Loss, r.Utility, r.Eps, r.State)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Command pytheas-poison runs the §4.1 experiments against the
+// group-based QoE optimizer: the botnet report-poisoning sweep (honest
+// QoE vs botnet fraction, with and without the §5 robust-aggregation
+// defense) and the MitM/operator selective-throttling stampede.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dui"
+	"dui/internal/pytheas"
+)
+
+func main() {
+	var (
+		sessions   = flag.Int("sessions", 1000, "group population")
+		epochs     = flag.Int("epochs", 300, "simulation epochs")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		multiplier = flag.Int("multiplier", 5, "fake reports per bot per epoch")
+	)
+	flag.Parse()
+
+	fractions := []float64{0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5}
+	base := dui.PytheasConfig{Sessions: *sessions, Epochs: *epochs, Seed: *seed}
+
+	fmt.Printf("§4.1 Pytheas report poisoning — %d sessions, bots submit %dx report volume\n\n", *sessions, *multiplier)
+	fmt.Printf("%-10s | %-28s | %-28s\n", "", "mean aggregation (default)", "defense: dedup + MAD filter")
+	fmt.Printf("%-10s | %12s %14s | %12s %14s\n", "botnet f", "honest QoE", "on good opt", "honest QoE", "on good opt")
+
+	defended := base
+	defended.E2.Aggregate = pytheas.MADFiltered(3)
+	defended.DedupReports = true
+
+	vuln := dui.PoisonSweep(base, fractions, *multiplier)
+	prot := dui.PoisonSweep(defended, fractions, *multiplier)
+	for i := range fractions {
+		fmt.Printf("%-10.2f | %12.2f %13.0f%% | %12.2f %13.0f%%\n",
+			fractions[i],
+			vuln[i].HonestQoELate, 100*vuln[i].GoodShareLate,
+			prot[i].HonestQoELate, 100*prot[i].GoodShareLate)
+	}
+
+	fmt.Printf("\n§4.1 selective throttling (MitM/operator): coverage 70%% of sessions, severity 0.2\n")
+	out := dui.RunThrottle(base, 0.7, 0.2)
+	fmt.Printf("  baseline honest QoE: %.2f -> attacked: %.2f (drop %.2f)\n",
+		out.Baseline.HonestQoELate, out.Attacked.HonestQoELate, out.QoEDrop)
+	fmt.Printf("  peak stampede onto the capacity-limited fallback site: %.0f%% of the group\n",
+		100*out.PeakStampedeShare)
+	fmt.Printf("  (the group oscillates between the throttled site and the overloaded one)\n")
+}

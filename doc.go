@@ -1,0 +1,46 @@
+// Package dui is an attack/defense laboratory for data-driven networks,
+// reproducing "(Self) Driving Under the Influence: Intoxicating
+// Adversarial Network Inputs" (Meier et al., HotNets 2019).
+//
+// Data-driven ("self-driving") networks take control decisions from
+// data-plane signals: Blink reroutes prefixes when monitored TCP flows
+// retransmit, Pytheas steers clients by their QoE reports, PCC picks
+// sending rates by online utility experiments, and traceroute builds
+// topology views from unauthenticated ICMP replies. Every one of those
+// signals can be forged by whoever can send packets — which, on the
+// Internet, is everyone. This module implements the systems, the attacks,
+// the theory, and the §5 supervisor countermeasures, on a deterministic
+// discrete-event network simulator.
+//
+// # Layout
+//
+// The root package is a facade re-exporting the main entry points. The
+// implementation lives in internal packages:
+//
+//   - internal/stats, internal/graph, internal/packet: deterministic
+//     randomness, graphs, and the packet model.
+//   - internal/netsim: the discrete-event simulator with the §2 attacker
+//     privileges (host injection, MitM link taps, operator control) as
+//     first-class hooks.
+//   - internal/tcpflow, internal/trace: a compact TCP endpoint model and
+//     the synthetic workloads standing in for CAIDA traces.
+//   - internal/blink, internal/pytheas, internal/pcc, internal/nethide,
+//     internal/sppifo, internal/sketch, internal/ron: the case-study
+//     systems and their attacks.
+//   - internal/supervisor: the §5 driver/supervisor countermeasures.
+//   - internal/core: the §2 threat model and the attack catalog.
+//
+// # Quick start
+//
+//	for _, cs := range dui.Catalog() {
+//	    fmt.Println(cs)
+//	    summary := cs.Run(1)
+//	    for _, name := range summary.Names() {
+//	        fmt.Printf("  %s = %.3f\n", name, summary.Metric(name))
+//	    }
+//	}
+//
+// Each experiment from the paper has a dedicated binary under cmd/ and a
+// benchmark in bench_test.go; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for reproduced-vs-paper results.
+package dui

@@ -1,0 +1,76 @@
+package dui
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade tests exercise the public API exactly as a downstream user
+// would; the heavy behavioural coverage lives in the internal packages.
+
+func TestCatalogFacade(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 7 {
+		t.Fatalf("catalog has %d entries", len(cat))
+	}
+	for _, cs := range cat {
+		if cs.MinPrivilege != Host && cs.MinPrivilege != MitM && cs.MinPrivilege != Operator {
+			t.Fatalf("bad privilege in %s", cs.Name)
+		}
+		if cs.Target != Infrastructure && cs.Target != Endpoint {
+			t.Fatalf("bad target in %s", cs.Name)
+		}
+	}
+}
+
+func TestRequiredQmFacade(t *testing.T) {
+	qm := RequiredQm(64, 32, 8.37, 510, 0.95)
+	if qm <= 0 || qm > 0.0525 {
+		t.Fatalf("required qm = %v", qm)
+	}
+}
+
+func TestForcedOscillationFacade(t *testing.T) {
+	trace, amp := ForcedOscillation(0.01, 0.05, 6)
+	if len(trace) != 6 || amp != 0.10 {
+		t.Fatalf("trace=%v amp=%v", trace, amp)
+	}
+}
+
+func TestSurveyFacade(t *testing.T) {
+	prefixes := SyntheticSurvey(4, 1)
+	rows := RunSurvey(BlinkConfig{}, prefixes, 150, 2)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TR <= 0 || math.IsNaN(r.RequiredQm) {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+}
+
+func TestTopologyFacade(t *testing.T) {
+	if Abilene().N() != 11 {
+		t.Fatal("abilene")
+	}
+	if FatTree(4).N() != 20 {
+		t.Fatal("fattree")
+	}
+}
+
+func TestNetHideFacadeRoundTrip(t *testing.T) {
+	g := Abilene()
+	src, _ := g.NodeByName("SEA")
+	dst, _ := g.NodeByName("NYC")
+	pm := MaliciousTopology(g, nil, 0, 1)
+	_ = pm
+	virt, m := Obfuscate(g, nil, NetHideConfig{}, 1)
+	if len(virt) != 0 || m.Accuracy != 0 {
+		// No pairs given: empty maps, zero metrics — degenerate but
+		// well-defined.
+		t.Fatalf("unexpected: %v %v", virt, m)
+	}
+	_ = src
+	_ = dst
+}

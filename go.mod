@@ -1,0 +1,3 @@
+module dui
+
+go 1.22

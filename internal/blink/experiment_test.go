@@ -1,0 +1,140 @@
+package blink
+
+import (
+	"math"
+	"testing"
+
+	"dui/internal/stats"
+	"dui/internal/trace"
+)
+
+func TestMeasureTRTracksDuration(t *testing.T) {
+	cfg := Config{}.Defaults()
+	rng := stats.NewRNG(1)
+	short := MeasureTR(cfg, 300, trace.ExpDuration{MeanSec: 2}, 3, 60, 10, rng.Child())
+	long := MeasureTR(cfg, 300, trace.ExpDuration{MeanSec: 12}, 3, 60, 10, rng.Child())
+	if short <= 0 || long <= 0 {
+		t.Fatalf("tR measurements: %v %v", short, long)
+	}
+	if long <= short {
+		t.Fatalf("tR not increasing with flow duration: %v vs %v", short, long)
+	}
+	// Residence of a sampled flow includes the ~2s inactivity lag, so tR
+	// must exceed the eviction timeout.
+	if short < cfg.InactivityTimeout {
+		t.Fatalf("tR %v below inactivity timeout", short)
+	}
+}
+
+func TestCalibrateMeanDurationHitsTarget(t *testing.T) {
+	cfg := Config{}.Defaults()
+	mean := CalibrateMeanDuration(cfg, 500, 2, 8.37, 0.05, 42)
+	got := MeasureTR(cfg, 500, trace.ExpDuration{MeanSec: mean}, 2, 90, 15, stats.NewRNG(7))
+	if math.Abs(got-8.37) > 0.5 {
+		t.Fatalf("calibrated duration %v yields tR %v, want ~8.37", mean, got)
+	}
+}
+
+// TestFig2PaperScale runs the Fig 2 experiment at the paper's population
+// (2000 legitimate + 105 malicious flows) with a reduced run count and
+// checks the paper's qualitative claims: every run reaches the majority in
+// the 100–300 s regime and the simulations track the theory envelope.
+func TestFig2PaperScale(t *testing.T) {
+	cfg := Fig2Config{
+		Duration: 400,
+		Runs:     4,
+		Seed:     3,
+	}
+	res := RunFig2(cfg)
+	if math.Abs(res.MeasuredTR-8.37) > 0.6 {
+		t.Fatalf("measured tR = %v", res.MeasuredTR)
+	}
+	if got := cfg.Defaults().MalFlows(); got != 105 {
+		t.Fatalf("malicious pool = %d, want the paper's 105", got)
+	}
+	// Every run must reach the majority; with the finite 105-flow pool
+	// the crossing lags the pure model somewhat (paper: sims cross ~200s
+	// vs calculated average 172s; pure model expectation ~106s).
+	for i, ht := range res.HitTimes {
+		if math.IsNaN(ht) {
+			t.Fatalf("run %d never reached majority", i)
+		}
+		if ht < 60 || ht > 350 {
+			t.Fatalf("run %d hit at %v, outside the paper's regime", i, ht)
+		}
+	}
+	// The simulated mean tracks the theory mean, with the finite-pool
+	// shortfall bounded by the capturable-cell analysis.
+	capt := ExpectedCapturable(64, 105) // ≈ 52 of 64 cells
+	var dev stats.Summary
+	for i := range res.SimMean.Values {
+		if res.SimMean.Time(i) < 30 {
+			continue // startup transient
+		}
+		d := res.TheoryMean.Values[i] - res.SimMean.Values[i]
+		dev.Add(math.Abs(d))
+		if res.SimMean.Values[i] > capt+3 {
+			t.Fatalf("sim exceeded capturable-cell bound: %v > %v", res.SimMean.Values[i], capt)
+		}
+	}
+	if dev.Mean() > 12 {
+		t.Fatalf("simulation deviates from theory by %v cells on average", dev.Mean())
+	}
+	// Monotone saturation toward the end-of-budget level.
+	last := res.TheoryMean.Values[len(res.TheoryMean.Values)-1]
+	if last < 55 {
+		t.Fatalf("theory end level = %v", last)
+	}
+}
+
+func TestCapturableCells(t *testing.T) {
+	if got := ExpectedCapturable(64, 105); got < 48 || got > 56 {
+		t.Fatalf("capturable(64,105) = %v, want ~52", got)
+	}
+	if m := MinAttackerFlows(64, 32, 5); m < 40 || m > 90 {
+		t.Fatalf("min attacker flows = %d", m)
+	}
+	// More flows always capture more cells.
+	if ExpectedCapturable(64, 200) <= ExpectedCapturable(64, 50) {
+		t.Fatal("capturable not monotone")
+	}
+}
+
+func TestFig2Deterministic(t *testing.T) {
+	cfg := Fig2Config{LegitFlows: 100, Duration: 120, Runs: 2, Seed: 9, MeanFlowDuration: 6}
+	a := RunFig2(cfg)
+	b := RunFig2(cfg)
+	for i := range a.SimMean.Values {
+		if a.SimMean.Values[i] != b.SimMean.Values[i] {
+			t.Fatal("Fig2 experiment not deterministic")
+		}
+	}
+}
+
+func TestSurveyShape(t *testing.T) {
+	prefixes := trace.SyntheticSurvey(12, stats.NewRNG(5))
+	rows := RunSurvey(Config{}, prefixes, 300, 11)
+	if len(rows) != 12 {
+		t.Fatal("row count")
+	}
+	// Required qm must be monotone in measured tR across prefixes
+	// (theory property, checked on the survey output).
+	for i := range rows {
+		for j := range rows {
+			if rows[i].TR < rows[j].TR && rows[i].RequiredQm > rows[j].RequiredQm+1e-9 {
+				t.Fatalf("qm ordering violated: %+v vs %+v", rows[i], rows[j])
+			}
+		}
+	}
+	var trs []float64
+	for _, r := range rows {
+		if r.TR <= 0 {
+			t.Fatalf("bad tR in %+v", r)
+		}
+		trs = append(trs, r.TR)
+	}
+	med := stats.Median(trs)
+	if med < 2 || med > 30 {
+		t.Fatalf("median tR = %v outside the regime the paper reports (~5s)", med)
+	}
+}

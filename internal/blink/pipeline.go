@@ -1,0 +1,111 @@
+package blink
+
+import (
+	"dui/internal/netsim"
+	"dui/internal/packet"
+)
+
+// PrefixPolicy configures one monitored prefix on a Blink router: the
+// prefix and its next hops in preference order (index 0 is the primary
+// path; later entries are the backups Blink fails over to).
+type PrefixPolicy struct {
+	Prefix   packet.Prefix
+	NextHops []*netsim.Node
+}
+
+// Reroute records one failover decision taken by the pipeline.
+type Reroute struct {
+	Now    float64
+	Prefix packet.Prefix
+	From   *netsim.Node
+	To     *netsim.Node
+}
+
+// Pipeline is Blink as a netsim data-plane program: per-prefix monitors
+// plus the reroute action. Attach it to a router with AttachProgram; it
+// installs the primary route at construction.
+type Pipeline struct {
+	node     *netsim.Node
+	states   []*prefixState
+	reroutes []Reroute
+
+	// OnReroute, if set, observes failover decisions.
+	OnReroute func(Reroute)
+
+	// Veto, if set, is consulted before a failover is executed — the
+	// §5 supervisor's hook (countermeasure IV: "invoking supervisor
+	// checks"). Returning true blocks the reroute; inference re-arms at
+	// the next sample reset.
+	Veto func(r Reroute, m *Monitor) bool
+
+	// VetoedReroutes counts blocked failovers.
+	VetoedReroutes int
+}
+
+type prefixState struct {
+	policy  PrefixPolicy
+	monitor *Monitor
+	current int
+}
+
+// NewPipeline builds the program, creates one monitor per policy, and
+// installs each policy's primary route on node.
+func NewPipeline(node *netsim.Node, cfg Config, policies []PrefixPolicy) *Pipeline {
+	p := &Pipeline{node: node}
+	for _, pol := range policies {
+		if len(pol.NextHops) == 0 {
+			panic("blink: policy needs at least one next hop")
+		}
+		st := &prefixState{policy: pol, monitor: NewMonitor(cfg)}
+		node.AddRoute(pol.Prefix, pol.NextHops[0], nil)
+		st.monitor.OnFailure(func(now float64) { p.failover(now, st) })
+		p.states = append(p.states, st)
+	}
+	return p
+}
+
+// Monitor returns the monitor for the i-th policy, for metric collection.
+func (p *Pipeline) Monitor(i int) *Monitor { return p.states[i].monitor }
+
+// Reroutes returns all failover decisions so far.
+func (p *Pipeline) Reroutes() []Reroute { return p.reroutes }
+
+// CurrentNextHop returns the active next hop for the i-th policy.
+func (p *Pipeline) CurrentNextHop(i int) *netsim.Node {
+	return p.states[i].policy.NextHops[p.states[i].current]
+}
+
+// OnPacket implements netsim.Program: feed TCP packets toward monitored
+// prefixes into the matching monitor. Blink never drops traffic.
+func (p *Pipeline) OnPacket(now float64, pkt *packet.Packet, node *netsim.Node) bool {
+	if pkt.TCP != nil {
+		for _, st := range p.states {
+			if st.policy.Prefix.Contains(pkt.Dst) {
+				st.monitor.Feed(now, pkt)
+				break
+			}
+		}
+	}
+	return true
+}
+
+// failover advances to the next backup next hop and rewrites the route —
+// Blink's fast-reroute action, and the lever the §3.1 attacker pulls.
+func (p *Pipeline) failover(now float64, st *prefixState) {
+	if st.current+1 >= len(st.policy.NextHops) {
+		return // no backup left
+	}
+	from := st.policy.NextHops[st.current]
+	to := st.policy.NextHops[st.current+1]
+	ev := Reroute{Now: now, Prefix: st.policy.Prefix, From: from, To: to}
+	if p.Veto != nil && p.Veto(ev, st.monitor) {
+		p.VetoedReroutes++
+		return
+	}
+	st.current++
+	p.node.AddRoute(st.policy.Prefix, to, nil)
+	p.reroutes = append(p.reroutes, ev)
+	if p.OnReroute != nil {
+		p.OnReroute(ev)
+	}
+}

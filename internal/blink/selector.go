@@ -1,0 +1,260 @@
+// Package blink reimplements Blink (Holterbach et al., NSDI'19) — the
+// data-plane fast-reroute system attacked in §3.1 of the paper — together
+// with the attack, the theoretical attack model, and the Fig 2 experiment.
+//
+// Blink infers remote failures from TCP retransmissions, entirely in the
+// data plane: per destination prefix it monitors a small sample of flows
+// (64 cells indexed by a hash of the 5-tuple) and reroutes the prefix when
+// a majority of the monitored flows retransmit within a short window. The
+// sampling rules reproduced here are the ones the attack exploits:
+//
+//   - one flow per cell; a colliding flow is ignored while the cell's
+//     occupant is live,
+//   - the occupant is evicted when it finishes (FIN/RST) or has been
+//     inactive for 2 s, freeing the cell for the next colliding packet,
+//   - the whole sample is reset every 8.5 min.
+//
+// A host-level attacker keeps her flows always active so that, cell by
+// cell, the sample fills with malicious flows that are never evicted until
+// the reset (§3.1, Fig 2).
+package blink
+
+import (
+	"dui/internal/packet"
+)
+
+// Config holds Blink's data-plane parameters, defaulting to the values of
+// the paper (64 cells, majority threshold, 2 s inactivity eviction, 8.5 min
+// sample reset, 800 ms retransmission window).
+type Config struct {
+	// Cells is the flow-selector array size per prefix.
+	Cells int
+	// Threshold is the number of concurrently retransmitting monitored
+	// flows that triggers failure inference (default Cells/2).
+	Threshold int
+	// InactivityTimeout evicts a monitored flow idle this long (seconds).
+	InactivityTimeout float64
+	// ResetPeriod clears the whole sample this often (seconds); the
+	// attacker's time budget tB.
+	ResetPeriod float64
+	// Window is the sliding window (seconds) within which retransmitting
+	// flows are counted toward Threshold.
+	Window float64
+}
+
+// Defaults fills zero fields with the paper's values and returns the
+// config.
+func (c Config) Defaults() Config {
+	if c.Cells <= 0 {
+		c.Cells = 64
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = c.Cells / 2
+	}
+	if c.InactivityTimeout <= 0 {
+		c.InactivityTimeout = 2.0
+	}
+	if c.ResetPeriod <= 0 {
+		c.ResetPeriod = 510 // 8.5 min
+	}
+	if c.Window <= 0 {
+		c.Window = 0.8
+	}
+	return c
+}
+
+// Cell is one slot of the flow selector.
+type Cell struct {
+	Occupied   bool
+	Key        packet.FlowKey
+	SampledAt  float64 // when the current occupant was sampled
+	LastSeen   float64
+	LastSeq    uint32
+	seqValid   bool
+	Finished   bool    // saw FIN or RST
+	LastRetr   float64 // time of the most recent retransmission
+	hasRetr    bool
+	prevPktGap float64 // gap between the retransmission and previous packet
+}
+
+// RetransEvent describes one detected retransmission, as consumed by the
+// §5 supervisor (which compares retransmission timing against the expected
+// RTO distribution).
+type RetransEvent struct {
+	Now  float64
+	Key  packet.FlowKey
+	Cell int
+	// Gap is the time since the flow's previous packet — for a genuine
+	// RTO-driven retransmission this is the flow's RTO (>= RTOmin), while
+	// attack traffic shows its own packet spacing.
+	Gap float64
+}
+
+// Eviction describes the end of one monitored residence; residence times
+// are the tR statistic of §3.1.
+type Eviction struct {
+	Now       float64
+	Key       packet.FlowKey
+	Residence float64
+	// Reset is true when the residence ended due to a sample reset
+	// rather than eviction (excluded from tR measurements).
+	Reset bool
+}
+
+// Monitor is Blink's per-prefix data-plane state: the flow selector plus
+// failure inference. It is driven purely by packets (Feed); all timing is
+// derived from packet timestamps, as in the P4 implementation.
+type Monitor struct {
+	cfg   Config
+	cells []Cell
+
+	nextReset float64
+	armed     bool
+
+	onFailure func(now float64)
+	onRetrans func(RetransEvent)
+	onEvict   func(Eviction)
+
+	failures []float64
+}
+
+// NewMonitor returns a monitor with the given (defaulted) config.
+func NewMonitor(cfg Config) *Monitor {
+	cfg = cfg.Defaults()
+	return &Monitor{
+		cfg:       cfg,
+		cells:     make([]Cell, cfg.Cells),
+		nextReset: cfg.ResetPeriod,
+		armed:     true,
+	}
+}
+
+// Config returns the effective configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// OnFailure registers the failure-inference callback (at most one).
+func (m *Monitor) OnFailure(f func(now float64)) { m.onFailure = f }
+
+// OnRetrans registers a retransmission observer.
+func (m *Monitor) OnRetrans(f func(RetransEvent)) { m.onRetrans = f }
+
+// OnEvict registers an eviction observer (tR measurement).
+func (m *Monitor) OnEvict(f func(Eviction)) { m.onEvict = f }
+
+// Failures returns the times of all inferred failures.
+func (m *Monitor) Failures() []float64 { return m.failures }
+
+// Cells returns a snapshot copy of the selector state.
+func (m *Monitor) Cells() []Cell {
+	out := make([]Cell, len(m.cells))
+	copy(out, m.cells)
+	return out
+}
+
+// CountOccupied returns how many cells match pred (pred nil counts all
+// occupied cells). The Fig 2 experiment counts cells occupied by malicious
+// flows.
+func (m *Monitor) CountOccupied(pred func(packet.FlowKey) bool) int {
+	n := 0
+	for i := range m.cells {
+		c := &m.cells[i]
+		if c.Occupied && (pred == nil || pred(c.Key)) {
+			n++
+		}
+	}
+	return n
+}
+
+// Feed processes one packet toward the monitored prefix. Non-TCP packets
+// are ignored (Blink monitors TCP only).
+func (m *Monitor) Feed(now float64, p *packet.Packet) {
+	if p.TCP == nil {
+		return
+	}
+	m.maybeReset(now)
+	key := p.Flow()
+	idx := int(key.FastHash() % uint64(len(m.cells)))
+	c := &m.cells[idx]
+
+	switch {
+	case !c.Occupied:
+		m.sample(c, key, now)
+	case c.Key == key:
+		m.update(c, idx, p, now)
+	default:
+		// Collision: evict only a finished or inactive occupant.
+		if c.Finished || now-c.LastSeen >= m.cfg.InactivityTimeout {
+			m.evict(c, now, false)
+			m.sample(c, key, now)
+			m.update(c, idx, p, now)
+		}
+	}
+}
+
+func (m *Monitor) sample(c *Cell, key packet.FlowKey, now float64) {
+	*c = Cell{Occupied: true, Key: key, SampledAt: now, LastSeen: now}
+}
+
+func (m *Monitor) update(c *Cell, idx int, p *packet.Packet, now float64) {
+	gap := now - c.LastSeen
+	isData := p.Size > 40 // ignore pure ACKs for seq tracking
+	if isData && c.seqValid && p.TCP.Seq == c.LastSeq {
+		// Retransmission detected, as in Blink's P4 pipeline: the new
+		// packet repeats the last sequence number.
+		c.LastRetr = now
+		c.hasRetr = true
+		c.prevPktGap = gap
+		if m.onRetrans != nil {
+			m.onRetrans(RetransEvent{Now: now, Key: c.Key, Cell: idx, Gap: gap})
+		}
+		m.infer(now)
+	} else if isData {
+		c.LastSeq = p.TCP.Seq
+		c.seqValid = true
+	}
+	if p.TCP.Flags&(packet.FlagFIN|packet.FlagRST) != 0 {
+		c.Finished = true
+	}
+	c.LastSeen = now
+}
+
+// infer counts flows with a retransmission inside the sliding window and
+// fires failure inference at the threshold.
+func (m *Monitor) infer(now float64) {
+	if !m.armed {
+		return
+	}
+	n := 0
+	for i := range m.cells {
+		c := &m.cells[i]
+		if c.Occupied && c.hasRetr && now-c.LastRetr <= m.cfg.Window {
+			n++
+		}
+	}
+	if n >= m.cfg.Threshold {
+		m.armed = false // one inference per sample epoch
+		m.failures = append(m.failures, now)
+		if m.onFailure != nil {
+			m.onFailure(now)
+		}
+	}
+}
+
+func (m *Monitor) evict(c *Cell, now float64, reset bool) {
+	if m.onEvict != nil && c.Occupied {
+		m.onEvict(Eviction{Now: now, Key: c.Key, Residence: now - c.SampledAt, Reset: reset})
+	}
+	*c = Cell{}
+}
+
+// maybeReset clears the sample when the reset period elapses (checked on
+// packet arrival, as a data plane would with a timestamp comparison).
+func (m *Monitor) maybeReset(now float64) {
+	for now >= m.nextReset {
+		for i := range m.cells {
+			m.evict(&m.cells[i], m.nextReset, true)
+		}
+		m.nextReset += m.cfg.ResetPeriod
+		m.armed = true
+	}
+}

@@ -1,0 +1,109 @@
+package dapper
+
+import (
+	"dui/internal/netsim"
+	"dui/internal/packet"
+)
+
+// The §3.2 attacks: "an attacker can implicate either of these three for
+// performance problems by manipulating TCP packets, and falsely trigger
+// the recourses suggested by the authors". Each tap sits between the
+// monitored vantage point and one endpoint (MitM privilege) and rewrites
+// or injects unauthenticated header bytes.
+
+// BlameNetwork injects a duplicate of every k-th data segment upstream of
+// the monitor: the monitor counts them as retransmissions and diagnoses
+// congestion where there is none. The receiver simply discards the
+// duplicates, so the connection itself is unharmed — only the operator's
+// view (and the triggered recourse) is corrupted.
+type BlameNetwork struct {
+	// Every is the duplication period in data packets.
+	Every int
+	// Sel restricts the attack to matching packets (nil = all TCP data).
+	Sel func(*packet.Packet) bool
+
+	inj   *netsim.Injector
+	count int
+	// Injected counts fabricated packets (attack budget).
+	Injected int
+}
+
+// Attach installs the tap on the link (direction dir carries the data).
+func (b *BlameNetwork) Attach(l *netsim.Link) {
+	if b.Every <= 0 {
+		b.Every = 4
+	}
+	b.inj = l.AttachTap(netsim.TapFunc(func(now float64, p *packet.Packet, dir netsim.Direction) netsim.TapVerdict {
+		if p.TCP == nil || p.Size <= 60 {
+			return netsim.TapVerdict{}
+		}
+		if b.Sel != nil && !b.Sel(p) {
+			return netsim.TapVerdict{}
+		}
+		b.count++
+		if b.count%b.Every == 0 {
+			dup := p.Clone()
+			dup.ID = 0 // fresh packet identity
+			b.inj.Inject(dup, dir)
+			b.Injected++
+		}
+		return netsim.TapVerdict{}
+	}))
+}
+
+// BlameReceiver rewrites the advertised window in ACKs to a small value:
+// the monitor sees the flight pinned at the (fake) window and blames the
+// receiver. As collateral the sender genuinely throttles — the attack
+// both degrades the connection and mis-attributes the degradation.
+type BlameReceiver struct {
+	// Window is the forged advertised window (bytes).
+	Window uint16
+	// Rewritten counts modified ACKs.
+	Rewritten int
+}
+
+// Attach installs the tap on the ACK path.
+func (b *BlameReceiver) Attach(l *netsim.Link) {
+	if b.Window == 0 {
+		b.Window = 4096
+	}
+	l.AttachTap(netsim.TapFunc(func(now float64, p *packet.Packet, dir netsim.Direction) netsim.TapVerdict {
+		if p.TCP == nil || p.Size > 60 || p.TCP.Window == 0 {
+			return netsim.TapVerdict{}
+		}
+		q := p.Clone()
+		q.TCP.Window = b.Window
+		b.Rewritten++
+		return netsim.TapVerdict{Replace: q}
+	}))
+}
+
+// BlameSender rewrites the advertised window in ACKs *upward*: a
+// genuinely receiver-limited connection (small real window) appears to
+// the monitor to have plenty of window it never fills, so DAPPER blames
+// the sender's application. Since the forged ACKs also reach the sender,
+// it additionally releases data faster than the receiver asked for — in a
+// real deployment that overruns the receiver's buffer, a classic
+// flow-control attack stacked on top of the mis-attribution.
+type BlameSender struct {
+	// Window is the forged (inflated) advertised window.
+	Window uint16
+	// Rewritten counts modified ACKs.
+	Rewritten int
+}
+
+// Attach installs the tap on the ACK path upstream of the monitor.
+func (b *BlameSender) Attach(l *netsim.Link) {
+	if b.Window == 0 {
+		b.Window = 65535
+	}
+	l.AttachTap(netsim.TapFunc(func(now float64, p *packet.Packet, dir netsim.Direction) netsim.TapVerdict {
+		if p.TCP == nil || p.Size > 60 || p.TCP.Window == 0 {
+			return netsim.TapVerdict{}
+		}
+		q := p.Clone()
+		q.TCP.Window = b.Window
+		b.Rewritten++
+		return netsim.TapVerdict{Replace: q}
+	}))
+}

@@ -1,0 +1,246 @@
+// Package dapper reimplements the diagnosis core of DAPPER (Ghasemi,
+// Benson, Rexford — SOSR'17), one of the §3.2 case studies: a data-plane
+// monitor that watches a TCP connection's two-way traffic at a vantage
+// point and decides whether its performance is limited by the sender
+// (application cannot fill the window), the network (losses and
+// retransmissions), or the receiver (flight size pinned at the advertised
+// window).
+//
+// Operators act on this diagnosis ("the recourses suggested by the
+// authors"): a network-limited verdict triggers rerouting or capacity
+// upgrades, a receiver-limited one points at the customer's device, a
+// sender-limited one at the service. The paper's observation: an attacker
+// who can manipulate TCP packets can implicate any of the three at will —
+// the headers DAPPER trusts are unauthenticated wire bytes.
+package dapper
+
+import (
+	"fmt"
+
+	"dui/internal/netsim"
+	"dui/internal/packet"
+)
+
+// Diagnosis is DAPPER's per-epoch verdict for one connection.
+type Diagnosis int
+
+// Diagnoses.
+const (
+	// Unknown: not enough traffic observed in the epoch.
+	Unknown Diagnosis = iota
+	// SenderLimited: the application does not fill the window it could.
+	SenderLimited
+	// NetworkLimited: retransmissions indicate congestion or loss.
+	NetworkLimited
+	// ReceiverLimited: the flight is pinned at the advertised window.
+	ReceiverLimited
+)
+
+// String names the diagnosis.
+func (d Diagnosis) String() string {
+	switch d {
+	case SenderLimited:
+		return "sender-limited"
+	case NetworkLimited:
+		return "network-limited"
+	case ReceiverLimited:
+		return "receiver-limited"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes the decision tree.
+type Config struct {
+	// Epoch is the diagnosis interval (seconds).
+	Epoch float64
+	// RetransThreshold is the per-epoch retransmission count that flags
+	// a connection network-limited.
+	RetransThreshold int
+	// RwndFraction is the flight/rwnd ratio above which the connection
+	// counts as receiver-limited.
+	RwndFraction float64
+	// MinPackets is the minimum data packets per epoch for a verdict.
+	MinPackets int
+}
+
+// Defaults fills the decision-tree parameters.
+func (c Config) Defaults() Config {
+	if c.Epoch <= 0 {
+		c.Epoch = 1
+	}
+	if c.RetransThreshold <= 0 {
+		c.RetransThreshold = 2
+	}
+	if c.RwndFraction <= 0 {
+		c.RwndFraction = 0.8
+	}
+	if c.MinPackets <= 0 {
+		c.MinPackets = 5
+	}
+	return c
+}
+
+// connState is the per-connection tracking state (what DAPPER keeps in
+// the data plane: a handful of counters per connection).
+type connState struct {
+	maxSeqEnd  int64 // highest sequence byte sent
+	ackedUpTo  int64
+	rwnd       int64 // latest advertised window from the receiver
+	epochStart float64
+
+	// Per-epoch accumulators.
+	dataPkts  int
+	retrans   int
+	flightMax int64
+	rwndMin   int64
+	verdicts  []Verdict
+}
+
+// Verdict is one finished epoch's diagnosis.
+type Verdict struct {
+	At        float64
+	Diagnosis Diagnosis
+	Retrans   int
+	FlightMax int64
+	RwndMin   int64
+}
+
+// Monitor is the vantage-point program: attach to a router both
+// directions of the monitored connections traverse.
+type Monitor struct {
+	cfg   Config
+	conns map[packet.FlowKey]*connState
+}
+
+// NewMonitor returns a DAPPER monitor.
+func NewMonitor(cfg Config) *Monitor {
+	return &Monitor{cfg: cfg.Defaults(), conns: map[packet.FlowKey]*connState{}}
+}
+
+// OnPacket implements netsim.Program.
+func (m *Monitor) OnPacket(now float64, p *packet.Packet, _ *netsim.Node) bool {
+	if p.TCP == nil {
+		return true
+	}
+	if p.Size > 60 {
+		m.onData(now, p)
+	} else {
+		m.onAck(now, p)
+	}
+	return true
+}
+
+// onData tracks the forward (data) direction, keyed by the data 5-tuple.
+func (m *Monitor) onData(now float64, p *packet.Packet) {
+	k := p.Flow()
+	c := m.conns[k]
+	if c == nil {
+		c = &connState{epochStart: now, rwndMin: 1 << 30}
+		m.conns[k] = c
+	}
+	m.rollEpoch(now, c)
+	c.dataPkts++
+	seq := int64(p.TCP.Seq)
+	end := seq + int64(p.Size-40)
+	// A data packet entirely below the highest byte already sent carries
+	// old data: a retransmission (this catches fast retransmits, unlike
+	// a naive consecutive-duplicate check).
+	if end <= c.maxSeqEnd {
+		c.retrans++
+	} else {
+		c.maxSeqEnd = end
+	}
+	if f := c.maxSeqEnd - c.ackedUpTo; f > c.flightMax {
+		c.flightMax = f
+	}
+}
+
+// onAck tracks the reverse direction: cumulative ACKs and the advertised
+// window.
+func (m *Monitor) onAck(now float64, p *packet.Packet) {
+	k := p.Flow().Reverse() // state is keyed by the data direction
+	c := m.conns[k]
+	if c == nil {
+		return
+	}
+	m.rollEpoch(now, c)
+	if a := int64(p.TCP.Ack); a > c.ackedUpTo {
+		c.ackedUpTo = a
+	}
+	if w := int64(p.TCP.Window); w > 0 {
+		c.rwnd = w
+		if w < c.rwndMin {
+			c.rwndMin = w
+		}
+	}
+}
+
+// rollEpoch closes finished epochs and emits verdicts.
+func (m *Monitor) rollEpoch(now float64, c *connState) {
+	for now-c.epochStart >= m.cfg.Epoch {
+		c.verdicts = append(c.verdicts, Verdict{
+			At:        c.epochStart + m.cfg.Epoch,
+			Diagnosis: m.classify(c),
+			Retrans:   c.retrans,
+			FlightMax: c.flightMax,
+			RwndMin:   c.rwndMin,
+		})
+		c.epochStart += m.cfg.Epoch
+		c.dataPkts, c.retrans, c.flightMax = 0, 0, 0
+		c.rwndMin = 1 << 30
+	}
+}
+
+// classify is the decision tree: retransmissions ⇒ network; flight pinned
+// at the advertised window ⇒ receiver; otherwise the sender had window
+// available and did not use it ⇒ sender.
+func (m *Monitor) classify(c *connState) Diagnosis {
+	if c.dataPkts < m.cfg.MinPackets {
+		return Unknown
+	}
+	if c.retrans >= m.cfg.RetransThreshold {
+		return NetworkLimited
+	}
+	if c.rwndMin < 1<<30 && float64(c.flightMax) >= m.cfg.RwndFraction*float64(c.rwndMin) {
+		return ReceiverLimited
+	}
+	return SenderLimited
+}
+
+// Verdicts returns the finished epochs of a connection (nil if unseen).
+func (m *Monitor) Verdicts(k packet.FlowKey) []Verdict {
+	c := m.conns[k]
+	if c == nil {
+		return nil
+	}
+	return append([]Verdict(nil), c.verdicts...)
+}
+
+// Majority returns the most common non-Unknown diagnosis of a connection
+// over its observed epochs.
+func (m *Monitor) Majority(k packet.FlowKey) Diagnosis {
+	counts := map[Diagnosis]int{}
+	for _, v := range m.Verdicts(k) {
+		if v.Diagnosis != Unknown {
+			counts[v.Diagnosis]++
+		}
+	}
+	best, bestN := Unknown, 0
+	for _, d := range []Diagnosis{SenderLimited, NetworkLimited, ReceiverLimited} {
+		if counts[d] > bestN {
+			best, bestN = d, counts[d]
+		}
+	}
+	return best
+}
+
+// Summary renders per-diagnosis epoch counts for one connection.
+func (m *Monitor) Summary(k packet.FlowKey) string {
+	counts := map[Diagnosis]int{}
+	for _, v := range m.Verdicts(k) {
+		counts[v.Diagnosis]++
+	}
+	return fmt.Sprintf("sender=%d network=%d receiver=%d unknown=%d",
+		counts[SenderLimited], counts[NetworkLimited], counts[ReceiverLimited], counts[Unknown])
+}

@@ -1,0 +1,162 @@
+package dapper
+
+import (
+	"dui/internal/netsim"
+	"dui/internal/packet"
+	"dui/internal/tcpflow"
+)
+
+// Scenario is a ground-truth bottleneck for the diagnosis experiment.
+type Scenario int
+
+// Ground truths.
+const (
+	// TrueNetwork: AIMD flow through a lossy bottleneck.
+	TrueNetwork Scenario = iota
+	// TrueReceiver: small advertised window pins the flight.
+	TrueReceiver
+	// TrueSender: application-paced flow far below its window.
+	TrueSender
+)
+
+// String names the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case TrueNetwork:
+		return "network"
+	case TrueReceiver:
+		return "receiver"
+	default:
+		return "sender"
+	}
+}
+
+// Attack selects the §3.2 manipulation applied between the endpoints and
+// the vantage point.
+type Attack int
+
+// Attacks; None is the honest baseline.
+const (
+	None Attack = iota
+	InjectRetransmissions
+	ShrinkWindow
+	InflateWindow
+)
+
+// String names the attack.
+func (a Attack) String() string {
+	switch a {
+	case InjectRetransmissions:
+		return "inject-retransmissions"
+	case ShrinkWindow:
+		return "shrink-window"
+	case InflateWindow:
+		return "inflate-window"
+	default:
+		return "none"
+	}
+}
+
+// Outcome reports one run.
+type Outcome struct {
+	Scenario  Scenario
+	Attack    Attack
+	Diagnosis Diagnosis
+	// Throughput is the flow's goodput in bytes over the run.
+	Throughput int64
+	// Budget counts packets the attacker fabricated or rewrote.
+	Budget int
+}
+
+// Run builds sender ── rV (vantage, DAPPER) ── rB (bottleneck) ── receiver,
+// drives one TCP flow with the scenario's ground-truth bottleneck,
+// optionally applies an attack tap on the receiver side of the vantage,
+// and returns the monitor's majority diagnosis.
+func Run(sc Scenario, atk Attack, duration float64) Outcome {
+	nw := netsim.New()
+	src := nw.AddHost("src", packet.MustParseAddr("20.1.0.1"))
+	rV := nw.AddRouter("vantage")
+	rB := nw.AddRouter("border")
+	dst := nw.AddHost("dst", packet.MustParseAddr("10.9.0.1"))
+	nw.Connect(src, rV, 0, 0.005, 0)
+	// The bottleneck lives between border and destination.
+	var bottleneck *netsim.Link
+	switch sc {
+	case TrueNetwork:
+		// 2 Mbps with a tiny queue: AIMD probing causes periodic loss.
+		nw.Connect(rV, rB, 0, 0.005, 0)
+		bottleneck = nw.Connect(rB, dst, 2e6, 0.005, 5)
+	default:
+		nw.Connect(rV, rB, 0, 0.005, 0)
+		bottleneck = nw.Connect(rB, dst, 50e6, 0.005, 0)
+	}
+	_ = bottleneck
+	nw.ComputeRoutes()
+
+	mon := NewMonitor(Config{})
+	rV.AttachProgram(mon)
+
+	// Attack taps sit so that the manipulated traffic passes the
+	// monitor: data-direction injection on the sender side of the
+	// vantage, ACK rewrites on the receiver side (ACKs flow receiver →
+	// vantage → sender).
+	srcLink := rV.Links()[0]
+	ackLink := rV.Links()[1]
+	budget := func() int { return 0 }
+	switch atk {
+	case InjectRetransmissions:
+		b := &BlameNetwork{Every: 4}
+		b.Attach(srcLink)
+		budget = func() int { return b.Injected }
+	case ShrinkWindow:
+		// One MSS: pins even an application-paced flow's flight.
+		b := &BlameReceiver{Window: 1460}
+		b.Attach(ackLink)
+		budget = func() int { return b.Rewritten }
+	case InflateWindow:
+		b := &BlameSender{Window: 65535}
+		b.Attach(ackLink)
+		budget = func() int { return b.Rewritten }
+	}
+
+	key := packet.FlowKey{
+		Src: src.Addr, Dst: dst.Addr,
+		SrcPort: 5000, DstPort: 443, Proto: packet.ProtoTCP,
+	}
+	cfg := tcpflow.Config{Key: key}
+	switch sc {
+	case TrueNetwork:
+		cfg.AIMD = true
+		cfg.Window = 4
+	case TrueReceiver:
+		cfg.Window = 16          // cwnd cap ~23 KB
+		cfg.RcvWindow = 8 * 1460 // ~11.7 KB pins the flight
+	case TrueSender:
+		cfg.Window = 40
+		cfg.Pace = 20 // ~23 KB/s: far below the available window
+	}
+	se, de := tcpflow.NewEndpoint(src), tcpflow.NewEndpoint(dst)
+	flow := tcpflow.Start(se, de, cfg)
+	nw.RunUntil(duration)
+
+	return Outcome{
+		Scenario:   sc,
+		Attack:     atk,
+		Diagnosis:  mon.Majority(key),
+		Throughput: flow.Stats().AckedBytes,
+		Budget:     budget(),
+	}
+}
+
+// ConfusionMatrix runs every scenario × attack combination and returns
+// the outcomes: the honest diagonal must be correct, and each attack must
+// flip the diagnosis it targets.
+func ConfusionMatrix(duration float64) []Outcome {
+	var out []Outcome
+	for _, sc := range []Scenario{TrueNetwork, TrueReceiver, TrueSender} {
+		for _, atk := range []Attack{None, InjectRetransmissions, ShrinkWindow, InflateWindow} {
+			out = append(out, Run(sc, atk, duration))
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// ShortestTree holds the result of a single-source shortest-path
+// computation: per-node distance and predecessor.
+type ShortestTree struct {
+	Source NodeID
+	Dist   []float64
+	Prev   []NodeID // -1 where unreachable or source
+}
+
+// Dijkstra computes shortest paths from src over non-negative edge weights.
+func (g *Graph) Dijkstra(src NodeID) *ShortestTree {
+	g.check(src)
+	n := g.N()
+	t := &ShortestTree{Source: src, Dist: make([]float64, n), Prev: make([]NodeID, n)}
+	for i := range t.Dist {
+		t.Dist[i] = math.Inf(1)
+		t.Prev[i] = -1
+	}
+	t.Dist[src] = 0
+	pq := &distHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.dist > t.Dist[it.node] {
+			continue // stale entry
+		}
+		for _, e := range g.adj[it.node] {
+			nd := it.dist + e.Weight
+			if nd < t.Dist[e.To] {
+				t.Dist[e.To] = nd
+				t.Prev[e.To] = it.node
+				heap.Push(pq, distItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return t
+}
+
+// PathTo reconstructs the path from the tree's source to dst, or nil if dst
+// is unreachable.
+func (t *ShortestTree) PathTo(dst NodeID) Path {
+	if math.IsInf(t.Dist[dst], 1) {
+		return nil
+	}
+	var rev []NodeID
+	for at := dst; at != -1; at = t.Prev[at] {
+		rev = append(rev, at)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ShortestPath returns a shortest path from src to dst, or nil if
+// unreachable.
+func (g *Graph) ShortestPath(src, dst NodeID) Path {
+	return g.Dijkstra(src).PathTo(dst)
+}
+
+// Connected reports whether every node is reachable from node 0 treating
+// edges as given (directed reachability).
+func (g *Graph) Connected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	t := g.Dijkstra(0)
+	for _, d := range t.Dist {
+		if math.IsInf(d, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// KShortestPaths returns up to k loop-free paths from src to dst in order
+// of increasing weight (Yen's algorithm). It returns fewer than k paths if
+// fewer exist.
+func (g *Graph) KShortestPaths(src, dst NodeID, k int) []Path {
+	first := g.ShortestPath(src, dst)
+	if first == nil || k <= 0 {
+		return nil
+	}
+	paths := []Path{first}
+	var candidates []candidate
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		for i := 0; i < len(prev)-1; i++ {
+			spurNode := prev[i]
+			rootPath := prev[:i+1]
+			// Build a filtered graph: remove edges used by previous paths
+			// sharing this root, and remove root-path nodes (except spur).
+			banned := map[[2]NodeID]bool{}
+			for _, p := range paths {
+				if len(p) > i && Path(p[:i+1]).Equal(rootPath) && len(p) > i+1 {
+					banned[[2]NodeID{p[i], p[i+1]}] = true
+				}
+			}
+			removed := map[NodeID]bool{}
+			for _, n := range rootPath[:len(rootPath)-1] {
+				removed[n] = true
+			}
+			sub := g.filtered(banned, removed)
+			spur := sub.ShortestPath(spurNode, dst)
+			if spur == nil {
+				continue
+			}
+			total := append(append(Path{}, rootPath[:len(rootPath)-1]...), spur...)
+			candidates = addCandidate(candidates, candidate{path: total, weight: total.Weight(g)})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Pop the lightest unused candidate.
+		sort.SliceStable(candidates, func(a, b int) bool { return candidates[a].weight < candidates[b].weight })
+		next := candidates[0]
+		candidates = candidates[1:]
+		dup := false
+		for _, p := range paths {
+			if p.Equal(next.path) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			paths = append(paths, next.path)
+		}
+	}
+	return paths
+}
+
+type candidate struct {
+	path   Path
+	weight float64
+}
+
+func addCandidate(cs []candidate, c candidate) []candidate {
+	for _, e := range cs {
+		if e.path.Equal(c.path) {
+			return cs
+		}
+	}
+	return append(cs, c)
+}
+
+// filtered returns a copy of g without the banned edges and without any
+// edges touching removed nodes.
+func (g *Graph) filtered(banned map[[2]NodeID]bool, removed map[NodeID]bool) *Graph {
+	c := &Graph{names: g.names, adj: make([][]Edge, len(g.adj))}
+	for i, es := range g.adj {
+		if removed[NodeID(i)] {
+			continue
+		}
+		for _, e := range es {
+			if removed[e.To] || banned[[2]NodeID{e.From, e.To}] {
+				continue
+			}
+			c.adj[i] = append(c.adj[i], e)
+		}
+	}
+	return c
+}
+
+type distItem struct {
+	node NodeID
+	dist float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

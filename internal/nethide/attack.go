@@ -1,0 +1,115 @@
+package nethide
+
+import "dui/internal/graph"
+
+// AttackOutcome evaluates a link-flooding adversary who plans against the
+// topology view traceroute gives her — the scenario NetHide defends
+// against, and the §4.3 situational-awareness casualty when the operator
+// is the liar.
+type AttackOutcome struct {
+	// TargetVirt is the hottest link in the attacker's (virtual) view.
+	TargetVirt linkID
+	// FloodPairs is how many pairs the attacker floods (those whose
+	// virtual paths cross the target).
+	FloodPairs int
+	// AchievedDensity is the maximum number of the attacker's flows
+	// that actually share one physical link — the real damage.
+	AchievedDensity int
+	// OptimalDensity is what the same budget achieves with ground-truth
+	// knowledge (flooding the physically hottest link).
+	OptimalDensity int
+	// Success is Achieved/Optimal ∈ [0,1].
+	Success float64
+}
+
+// EvaluateAttack plans a link-flooding attack from the view topology and
+// measures its effect on the physical topology. budget caps the number of
+// flooding pairs (0 = unlimited).
+func EvaluateAttack(phys, view PathMap, budget int) AttackOutcome {
+	var out AttackOutcome
+	var flood []Pair
+
+	// Plan: flood the pairs crossing the hottest link of the view.
+	out.TargetVirt, _ = view.MaxDensity()
+	for pair, path := range view {
+		if pathHasLink(path, out.TargetVirt) {
+			flood = append(flood, pair)
+		}
+	}
+	sortPairs(flood)
+	if budget > 0 && len(flood) > budget {
+		flood = flood[:budget]
+	}
+	out.FloodPairs = len(flood)
+
+	// Effect: the flows follow the *physical* paths.
+	out.AchievedDensity = floodDensity(phys, flood)
+
+	// Oracle baseline: flood the physically hottest link with the same
+	// budget.
+	physHot, _ := phys.MaxDensity()
+	var oracle []Pair
+	for pair, path := range phys {
+		if pathHasLink(path, physHot) {
+			oracle = append(oracle, pair)
+		}
+	}
+	sortPairs(oracle)
+	if budget > 0 && len(oracle) > budget {
+		oracle = oracle[:budget]
+	}
+	out.OptimalDensity = floodDensity(phys, oracle)
+	if out.OptimalDensity > 0 {
+		out.Success = float64(out.AchievedDensity) / float64(out.OptimalDensity)
+	}
+	return out
+}
+
+// floodDensity returns the maximum number of the chosen flows sharing one
+// physical link.
+func floodDensity(phys PathMap, flood []Pair) int {
+	counts := map[linkID]int{}
+	max := 0
+	for _, pair := range flood {
+		path, ok := phys[pair]
+		if !ok {
+			continue
+		}
+		for i := 0; i+1 < len(path); i++ {
+			l := mkLink(path[i], path[i+1])
+			counts[l]++
+			if counts[l] > max {
+				max = counts[l]
+			}
+		}
+	}
+	return max
+}
+
+func sortPairs(ps []Pair) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && less(ps[j], ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func less(a, b Pair) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Dst < b.Dst
+}
+
+// HiddenLinkVisible reports whether any path of the view still traverses
+// the given physical link — the §4.3 check that a malicious operator's
+// lie really conceals it.
+func HiddenLinkVisible(view PathMap, a, b graph.NodeID) bool {
+	l := mkLink(a, b)
+	for _, path := range view {
+		if pathHasLink(path, l) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,82 @@
+package nethide
+
+import (
+	"dui/internal/graph"
+	"dui/internal/netsim"
+	"dui/internal/packet"
+)
+
+// Traceroute simulates the classic tool over a path map: probes with
+// increasing TTL; hop i's reply carries the address of the i-th node of
+// whatever path the answering infrastructure chooses to present. There is
+// no authentication of ICMP time-exceeded messages (§4.3), so the
+// returned hops are exactly the presented path.
+func Traceroute(pm PathMap, src, dst graph.NodeID) []graph.NodeID {
+	path, ok := pm[Pair{src, dst}]
+	if !ok || len(path) < 2 {
+		return nil
+	}
+	// Hops exclude the source itself (traceroute shows routers hit at
+	// TTL 1, 2, ... and finally the destination).
+	return append([]graph.NodeID(nil), path[1:]...)
+}
+
+// Survey runs traceroute for every pair, reconstructing the topology view
+// an external prober (or attacker) obtains.
+func Survey(pm PathMap, pairs []Pair) PathMap {
+	view := PathMap{}
+	for _, p := range pairs {
+		hops := Traceroute(pm, p.Src, p.Dst)
+		if hops == nil {
+			continue
+		}
+		view[p] = append(graph.Path{p.Src}, hops...)
+	}
+	return view
+}
+
+// Responder is the packet-level deployment of NetHide on a netsim border
+// router: it intercepts traceroute probes (low-TTL UDP) entering the
+// network and forges the ICMP time-exceeded replies according to the
+// virtual topology, before the probes ever reach interior routers. Addrs
+// maps graph node IDs to the router addresses shown to the prober.
+type Responder struct {
+	// Virt is the virtual path map keyed by (entry, destination) graph
+	// node IDs.
+	Virt PathMap
+	// Entry is this border router's graph node ID.
+	Entry graph.NodeID
+	// DstNode resolves a probe's destination address to a graph node.
+	DstNode func(packet.Addr) (graph.NodeID, bool)
+	// Addr resolves a graph node to the loopback address presented in
+	// forged replies.
+	Addr func(graph.NodeID) packet.Addr
+}
+
+// OnPacket implements netsim.Program.
+func (r *Responder) OnPacket(now float64, p *packet.Packet, node *netsim.Node) bool {
+	if p.UDP == nil || p.TTL >= 32 {
+		return true // not a traceroute probe
+	}
+	dn, ok := r.DstNode(p.Dst)
+	if !ok {
+		return true
+	}
+	path, ok := r.Virt[Pair{r.Entry, dn}]
+	if !ok {
+		return true
+	}
+	// A probe arriving with TTL=1 expires at this border router itself
+	// (path[0]); TTL=t expires t-1 presented hops beyond it.
+	hop := int(p.TTL) - 1
+	if hop >= len(path)-1 {
+		return true // probe reaches the destination: forward normally
+	}
+	reply := packet.NewICMP(r.Addr(path[hop]), p.Src, packet.ICMPHeader{
+		Type: packet.ICMPTimeExceeded,
+		ID:   p.UDP.SrcPort, Seq: p.UDP.DstPort,
+		OrigSrc: p.Src, OrigDst: p.Dst, OrigTTL: p.TTL,
+	}, 56)
+	node.Send(reply)
+	return false // probe consumed: the real interior is never exposed
+}

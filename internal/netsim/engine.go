@@ -1,0 +1,100 @@
+// Package netsim is a deterministic discrete-event network simulator: hosts
+// and routers connected by rate/delay/queue-limited links, longest-prefix
+// routing, TTL handling with ICMP time-exceeded generation, and — because
+// this repository studies adversarial inputs — the paper's three attacker
+// privilege levels (§2.1) as first-class hooks: compromised hosts inject
+// and spoof traffic, MitM taps on links record/modify/drop/delay/inject,
+// and operator control reaches every device and its configuration.
+//
+// It replaces the mininet + P4 testbed of the paper. All time is virtual
+// (float64 seconds); runs are bit-reproducible for a fixed seed.
+package netsim
+
+import "container/heap"
+
+// Engine is the discrete-event core: a virtual clock and an event queue.
+// Events at equal timestamps fire in scheduling order (stable FIFO), which
+// keeps runs deterministic.
+type Engine struct {
+	now float64
+	seq uint64
+	pq  eventHeap
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it is
+// always a simulation bug.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic("netsim: scheduling into the past")
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d seconds from now. Negative d panics.
+func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// RunUntil executes events in timestamp order until the queue is empty or
+// the next event is after t; the clock ends at exactly t (or later events
+// remain queued). It returns the number of events executed.
+func (e *Engine) RunUntil(t float64) int {
+	n := 0
+	for len(e.pq) > 0 && e.pq[0].t <= t {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.t
+		ev.fn()
+		n++
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return n
+}
+
+// Run executes all events until the queue drains. Use RunUntil for open
+// systems that generate events forever.
+func (e *Engine) Run() int {
+	n := 0
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.t
+		ev.fn()
+		n++
+	}
+	return n
+}
+
+type event struct {
+	t   float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

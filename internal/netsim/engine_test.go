@@ -1,0 +1,112 @@
+package netsim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, tm := range []float64{3, 1, 2, 1.5} {
+		tm := tm
+		e.At(tm, func() { got = append(got, tm) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOAtEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1, func() { fired++ })
+	e.At(2, func() { fired++ })
+	e.At(3, func() { fired++ })
+	if n := e.RunUntil(2); n != 2 || fired != 2 {
+		t.Fatalf("n=%d fired=%d", n, fired)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.RunUntil(10)
+	if fired != 3 || e.Now() != 10 {
+		t.Fatalf("fired=%d now=%v", fired, e.Now())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.At(1, func() {
+		trace = append(trace, "a")
+		e.After(0.5, func() { trace = append(trace, "b") })
+		e.After(0, func() { trace = append(trace, "a2") }) // same-time follow-up
+	})
+	e.At(1.2, func() { trace = append(trace, "c") })
+	e.Run()
+	want := []string{"a", "a2", "c", "b"}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v", trace)
+		}
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {})
+	e.RunUntil(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.At(4, func() {})
+}
+
+func TestEngineClockMonotoneProperty(t *testing.T) {
+	if err := quick.Check(func(times []float64) bool {
+		e := NewEngine()
+		last := -1.0
+		ok := true
+		for _, tm := range times {
+			if tm < 0 || tm != tm { // negative or NaN
+				continue
+			}
+			e.At(tm, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

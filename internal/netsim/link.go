@@ -1,0 +1,189 @@
+package netsim
+
+import "dui/internal/packet"
+
+// Direction distinguishes the two directions of a (full-duplex) link.
+type Direction int
+
+// Link directions: AToB is from the first-attached node toward the second.
+const (
+	AToB Direction = iota
+	BToA
+)
+
+// TapVerdict is what a MitM tap decides about one intercepted packet.
+// The zero value passes the packet through untouched.
+type TapVerdict struct {
+	Drop    bool           // silently discard
+	Delay   float64        // extra seconds before the packet enters the link
+	Replace *packet.Packet // if non-nil, forward this packet instead
+}
+
+// Tap is the man-in-the-middle privilege of §2.1: an observer on one link
+// that can record, modify, drop, and delay traffic crossing it. Injection
+// is done through the *Injector the tap receives at attach time. A tap
+// cannot break encryption — it sees the packet structs as a wire observer
+// would.
+type Tap interface {
+	// Intercept is called once per packet entering the link, before
+	// queueing. dir tells the direction of travel.
+	Intercept(now float64, p *packet.Packet, dir Direction) TapVerdict
+}
+
+// TapFunc adapts a function to the Tap interface.
+type TapFunc func(now float64, p *packet.Packet, dir Direction) TapVerdict
+
+// Intercept implements Tap.
+func (f TapFunc) Intercept(now float64, p *packet.Packet, dir Direction) TapVerdict {
+	return f(now, p, dir)
+}
+
+// Injector lets a tap originate traffic on the link it occupies, in either
+// direction, as the MitM attacker model allows.
+type Injector struct {
+	link *Link
+}
+
+// Inject sends p toward the receiver in direction dir, entering the link
+// now. Injected packets bypass taps (the attacker does not intercept
+// herself).
+func (in *Injector) Inject(p *packet.Packet, dir Direction) {
+	in.link.enqueue(p, dir)
+}
+
+// LinkStats counts per-direction link activity.
+type LinkStats struct {
+	Sent      uint64 // packets that entered the queue
+	Delivered uint64 // packets handed to the far node
+	QueueDrop uint64 // drop-tail losses
+	DownDrop  uint64 // lost because the link was down
+	TapDrop   uint64 // dropped by a MitM tap
+	Bytes     uint64 // bytes delivered
+}
+
+// Link is a full-duplex point-to-point link with per-direction transmission
+// rate, propagation delay, and a drop-tail queue measured in packets.
+type Link struct {
+	net  *Network
+	a, b *Node
+
+	// RateBps is the transmission rate in bits per second; 0 means
+	// infinite (no serialization delay). Delay is one-way propagation in
+	// seconds. QueueCap is the per-direction queue limit in packets;
+	// 0 means unlimited.
+	RateBps  float64
+	Delay    float64
+	QueueCap int
+
+	up   bool
+	taps []Tap
+
+	dir [2]linkDir
+}
+
+type linkDir struct {
+	busyUntil float64
+	qlen      int
+	stats     LinkStats
+}
+
+// Up reports whether the link is currently up.
+func (l *Link) Up() bool { return l.up }
+
+// SetUp changes link state; packets sent while down are counted and lost.
+// Packets already in flight are not affected (they were already on the
+// wire).
+func (l *Link) SetUp(up bool) { l.up = up }
+
+// Stats returns a copy of the counters for one direction.
+func (l *Link) Stats(dir Direction) LinkStats { return l.dir[dir].stats }
+
+// Nodes returns the two endpoints in attachment order.
+func (l *Link) Nodes() (a, b *Node) { return l.a, l.b }
+
+// Peer returns the endpoint opposite n, or nil if n is not attached.
+func (l *Link) Peer(n *Node) *Node {
+	switch n {
+	case l.a:
+		return l.b
+	case l.b:
+		return l.a
+	default:
+		return nil
+	}
+}
+
+// AttachTap installs a MitM tap on the link and returns the injector bound
+// to it. Multiple taps run in attachment order; a drop by any tap is final.
+func (l *Link) AttachTap(t Tap) *Injector {
+	l.taps = append(l.taps, t)
+	return &Injector{link: l}
+}
+
+// directionFrom returns the travel direction for a packet sent by n.
+func (l *Link) directionFrom(n *Node) Direction {
+	if n == l.a {
+		return AToB
+	}
+	return BToA
+}
+
+// send is the node-facing entry: applies taps, then queues the packet.
+func (l *Link) send(from *Node, p *packet.Packet) {
+	dir := l.directionFrom(from)
+	now := l.net.eng.Now()
+	for _, t := range l.taps {
+		v := t.Intercept(now, p, dir)
+		if v.Drop {
+			l.dir[dir].stats.TapDrop++
+			return
+		}
+		if v.Replace != nil {
+			p = v.Replace
+		}
+		if v.Delay > 0 {
+			d := v.Delay
+			pp := p
+			l.net.eng.After(d, func() { l.enqueue(pp, dir) })
+			return
+		}
+	}
+	l.enqueue(p, dir)
+}
+
+// enqueue models serialization, queueing, propagation, and drop-tail loss.
+func (l *Link) enqueue(p *packet.Packet, dir Direction) {
+	d := &l.dir[dir]
+	d.stats.Sent++
+	if !l.up {
+		d.stats.DownDrop++
+		return
+	}
+	if l.QueueCap > 0 && d.qlen >= l.QueueCap {
+		d.stats.QueueDrop++
+		l.net.notifyDrop(p, l, dir)
+		return
+	}
+	eng := l.net.eng
+	now := eng.Now()
+	start := now
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	tx := 0.0
+	if l.RateBps > 0 {
+		tx = float64(p.Size) * 8 / l.RateBps
+	}
+	d.busyUntil = start + tx
+	d.qlen++
+	dst := l.b
+	if dir == BToA {
+		dst = l.a
+	}
+	eng.At(start+tx, func() { d.qlen-- })
+	eng.At(start+tx+l.Delay, func() {
+		d.stats.Delivered++
+		d.stats.Bytes += uint64(p.Size)
+		dst.receive(p, l)
+	})
+}

@@ -1,0 +1,216 @@
+package packet
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Proto identifies the transport protocol, with the standard IP protocol
+// numbers.
+type Proto uint8
+
+// Transport protocol numbers (IANA).
+const (
+	ProtoICMP Proto = 1
+	ProtoTCP  Proto = 6
+	ProtoUDP  Proto = 17
+)
+
+// String returns the conventional protocol name.
+func (p Proto) String() string {
+	switch p {
+	case ProtoICMP:
+		return "icmp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// TCP flag bits.
+const (
+	FlagFIN uint8 = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+)
+
+// TCPHeader carries the TCP fields the simulated systems read. Blink
+// watches Seq for retransmissions; PCC and the TCP model use Seq/Ack for
+// loss accounting.
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+}
+
+// UDPHeader carries the UDP ports.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+}
+
+// ICMP message types used by the traceroute engine.
+const (
+	ICMPEchoReply    uint8 = 0
+	ICMPTimeExceeded uint8 = 11
+	ICMPEchoRequest  uint8 = 8
+)
+
+// ICMPHeader models the ICMP messages traceroute exchanges. For
+// TimeExceeded replies, OrigSrc/OrigDst/OrigTTL echo the expired probe's
+// header, which is how traceroute matches replies to probes.
+type ICMPHeader struct {
+	Type, Code uint8
+	ID, Seq    uint16
+	// Quoted original header for TimeExceeded, per RFC 792.
+	OrigSrc, OrigDst Addr
+	OrigTTL          uint8
+}
+
+// Packet is one simulated packet. Exactly one of TCP/UDP/ICMP is non-nil,
+// matching Proto. Size is the on-wire size in bytes (headers + payload) and
+// drives link serialization delay; Payload is optional application data.
+type Packet struct {
+	ID       uint64 // unique per simulation run, for tracing
+	Src, Dst Addr
+	TTL      uint8
+	Proto    Proto
+	Size     int
+	TCP      *TCPHeader
+	UDP      *UDPHeader
+	ICMP     *ICMPHeader
+	Payload  []byte
+}
+
+// DefaultTTL is the initial TTL for ordinary (non-traceroute) packets.
+const DefaultTTL = 64
+
+// NewTCP returns a TCP packet with sensible defaults (TTL 64).
+func NewTCP(src, dst Addr, h TCPHeader, size int) *Packet {
+	return &Packet{Src: src, Dst: dst, TTL: DefaultTTL, Proto: ProtoTCP, Size: size, TCP: &h}
+}
+
+// NewUDP returns a UDP packet with sensible defaults.
+func NewUDP(src, dst Addr, h UDPHeader, size int) *Packet {
+	return &Packet{Src: src, Dst: dst, TTL: DefaultTTL, Proto: ProtoUDP, Size: size, UDP: &h}
+}
+
+// NewICMP returns an ICMP packet.
+func NewICMP(src, dst Addr, h ICMPHeader, size int) *Packet {
+	return &Packet{Src: src, Dst: dst, TTL: DefaultTTL, Proto: ProtoICMP, Size: size, ICMP: &h}
+}
+
+// Clone returns a deep copy, used by MitM taps that modify packets and by
+// retransmission logic.
+func (p *Packet) Clone() *Packet {
+	c := *p
+	if p.TCP != nil {
+		h := *p.TCP
+		c.TCP = &h
+	}
+	if p.UDP != nil {
+		h := *p.UDP
+		c.UDP = &h
+	}
+	if p.ICMP != nil {
+		h := *p.ICMP
+		c.ICMP = &h
+	}
+	if p.Payload != nil {
+		c.Payload = append([]byte(nil), p.Payload...)
+	}
+	return &c
+}
+
+// FlowKey is the classic 5-tuple. It is comparable and therefore usable as
+// a map key; FastHash gives the data-plane hash Blink's flow selector uses.
+type FlowKey struct {
+	Src, Dst         Addr
+	SrcPort, DstPort uint16
+	Proto            Proto
+}
+
+// Flow returns the packet's 5-tuple. Port fields are zero for ICMP.
+func (p *Packet) Flow() FlowKey {
+	k := FlowKey{Src: p.Src, Dst: p.Dst, Proto: p.Proto}
+	switch {
+	case p.TCP != nil:
+		k.SrcPort, k.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	case p.UDP != nil:
+		k.SrcPort, k.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	}
+	return k
+}
+
+// Reverse returns the key of the opposite direction of the flow.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{
+		Src: k.Dst, Dst: k.Src,
+		SrcPort: k.DstPort, DstPort: k.SrcPort,
+		Proto: k.Proto,
+	}
+}
+
+// FastHash returns a 64-bit hash of the 5-tuple: FNV-1a over the header
+// bytes followed by a murmur-style avalanche finalizer (raw FNV's low bits
+// correlate under structured inputs, and data planes index small cell
+// arrays with exactly those bits). It is *not* symmetric: A→B and B→A hash
+// differently, which matches Blink's data-plane hash of the packet's own
+// header fields.
+func (k FlowKey) FastHash() uint64 {
+	h := fnv.New64a()
+	var buf [13]byte
+	be32(buf[0:], uint32(k.Src))
+	be32(buf[4:], uint32(k.Dst))
+	be16(buf[8:], k.SrcPort)
+	be16(buf[10:], k.DstPort)
+	buf[12] = byte(k.Proto)
+	h.Write(buf[:])
+	return fmix64(h.Sum64())
+}
+
+// fmix64 is the 64-bit finalizer from MurmurHash3: a full-avalanche
+// bijection, so it cannot introduce collisions.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// String renders "proto src:sport>dst:dport".
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s %s:%d>%s:%d", k.Proto, k.Src, k.SrcPort, k.Dst, k.DstPort)
+}
+
+func be32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+func be16(b []byte, v uint16) {
+	b[0], b[1] = byte(v>>8), byte(v)
+}
+
+// String renders a one-line summary of the packet for logs and debugging.
+func (p *Packet) String() string {
+	switch {
+	case p.TCP != nil:
+		return fmt.Sprintf("tcp %s:%d>%s:%d seq=%d ack=%d flags=%#x len=%d ttl=%d",
+			p.Src, p.TCP.SrcPort, p.Dst, p.TCP.DstPort, p.TCP.Seq, p.TCP.Ack, p.TCP.Flags, p.Size, p.TTL)
+	case p.UDP != nil:
+		return fmt.Sprintf("udp %s:%d>%s:%d len=%d ttl=%d",
+			p.Src, p.UDP.SrcPort, p.Dst, p.UDP.DstPort, p.Size, p.TTL)
+	case p.ICMP != nil:
+		return fmt.Sprintf("icmp %s>%s type=%d code=%d ttl=%d",
+			p.Src, p.Dst, p.ICMP.Type, p.ICMP.Code, p.TTL)
+	default:
+		return fmt.Sprintf("%s %s>%s len=%d ttl=%d", p.Proto, p.Src, p.Dst, p.Size, p.TTL)
+	}
+}

@@ -1,0 +1,233 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddrRoundTrip(t *testing.T) {
+	for _, s := range []string{"0.0.0.0", "10.0.1.2", "255.255.255.255", "192.168.0.1"} {
+		a, err := ParseAddr(s)
+		if err != nil {
+			t.Fatalf("ParseAddr(%q): %v", s, err)
+		}
+		if a.String() != s {
+			t.Fatalf("round trip %q -> %q", s, a.String())
+		}
+	}
+}
+
+func TestParseAddrErrors(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "-1.0.0.0"} {
+		if _, err := ParseAddr(s); err == nil {
+			t.Fatalf("ParseAddr(%q) should fail", s)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("10.1.0.0/16")
+	if !p.Contains(MustParseAddr("10.1.255.3")) {
+		t.Fatal("address in prefix not matched")
+	}
+	if p.Contains(MustParseAddr("10.2.0.0")) {
+		t.Fatal("address outside prefix matched")
+	}
+	if p.String() != "10.1.0.0/16" {
+		t.Fatalf("prefix string = %s", p)
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseAddr("255.1.2.3")) {
+		t.Fatal("default route must contain everything")
+	}
+}
+
+func TestPrefixNormalizesHostBits(t *testing.T) {
+	p := MustParsePrefix("10.1.2.3/16")
+	if p.Addr != MustParseAddr("10.1.0.0") {
+		t.Fatalf("host bits not masked: %s", p.Addr)
+	}
+	if p.Nth(5) != MustParseAddr("10.1.0.5") {
+		t.Fatalf("Nth = %s", p.Nth(5))
+	}
+}
+
+func TestPrefixErrors(t *testing.T) {
+	for _, s := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/x", "bad/8"} {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Fatalf("ParsePrefix(%q) should fail", s)
+		}
+	}
+}
+
+func TestFlowKeyReverse(t *testing.T) {
+	k := FlowKey{Src: 1, Dst: 2, SrcPort: 10, DstPort: 20, Proto: ProtoTCP}
+	r := k.Reverse()
+	if r.Src != 2 || r.Dst != 1 || r.SrcPort != 20 || r.DstPort != 10 {
+		t.Fatalf("reverse = %+v", r)
+	}
+	if r.Reverse() != k {
+		t.Fatal("double reverse must be identity")
+	}
+}
+
+func TestFastHashDistinguishesDirection(t *testing.T) {
+	k := FlowKey{Src: 1, Dst: 2, SrcPort: 10, DstPort: 20, Proto: ProtoTCP}
+	if k.FastHash() == k.Reverse().FastHash() {
+		t.Fatal("hash must be direction-sensitive")
+	}
+}
+
+func TestFastHashDeterministicAndSpread(t *testing.T) {
+	// Hash determinism plus a coarse uniformity check over 64 cells — the
+	// property Blink's flow selector relies on.
+	counts := make([]int, 64)
+	for i := 0; i < 6400; i++ {
+		k := FlowKey{
+			Src: Addr(0x0a000000 + i), Dst: 0x0b000001,
+			SrcPort: uint16(1024 + i%50000), DstPort: 80, Proto: ProtoTCP,
+		}
+		if k.FastHash() != k.FastHash() {
+			t.Fatal("hash not deterministic")
+		}
+		counts[k.FastHash()%64]++
+	}
+	for c, n := range counts {
+		if n < 50 || n > 150 {
+			t.Fatalf("cell %d has %d flows; hash badly skewed", c, n)
+		}
+	}
+}
+
+func TestPacketFlow(t *testing.T) {
+	p := NewTCP(1, 2, TCPHeader{SrcPort: 10, DstPort: 20, Seq: 5}, 100)
+	k := p.Flow()
+	if k.Proto != ProtoTCP || k.SrcPort != 10 || k.DstPort != 20 {
+		t.Fatalf("flow = %+v", k)
+	}
+	u := NewUDP(1, 2, UDPHeader{SrcPort: 7, DstPort: 9}, 64)
+	if u.Flow().SrcPort != 7 {
+		t.Fatal("udp flow ports")
+	}
+	i := NewICMP(1, 2, ICMPHeader{Type: ICMPEchoRequest}, 28)
+	if got := i.Flow(); got.SrcPort != 0 || got.DstPort != 0 {
+		t.Fatal("icmp flow must have zero ports")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := NewTCP(1, 2, TCPHeader{Seq: 5}, 100)
+	p.Payload = []byte{1, 2, 3}
+	c := p.Clone()
+	c.TCP.Seq = 99
+	c.Payload[0] = 42
+	if p.TCP.Seq != 5 || p.Payload[0] != 1 {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestMarshalRoundTripTCP(t *testing.T) {
+	p := NewTCP(MustParseAddr("10.0.0.1"), MustParseAddr("10.9.0.2"),
+		TCPHeader{SrcPort: 443, DstPort: 51000, Seq: 12345, Ack: 999, Flags: FlagACK | FlagPSH, Window: 8192}, 1460)
+	p.ID = 7
+	p.TTL = 61
+	buf := p.Marshal()
+	q, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Src != p.Src || q.Dst != p.Dst || q.TTL != 61 || q.Proto != ProtoTCP {
+		t.Fatalf("ip fields: %+v", q)
+	}
+	if *q.TCP != *p.TCP {
+		t.Fatalf("tcp fields: %+v vs %+v", *q.TCP, *p.TCP)
+	}
+	if q.Size != 1460 {
+		t.Fatalf("modeled size lost: %d", q.Size)
+	}
+}
+
+func TestMarshalRoundTripICMP(t *testing.T) {
+	h := ICMPHeader{
+		Type: ICMPTimeExceeded, Code: 0, ID: 3, Seq: 9,
+		OrigSrc: MustParseAddr("10.0.0.1"), OrigDst: MustParseAddr("10.9.0.2"), OrigTTL: 3,
+	}
+	p := NewICMP(MustParseAddr("192.0.2.1"), MustParseAddr("10.0.0.1"), h, 56)
+	q, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *q.ICMP != h {
+		t.Fatalf("icmp fields: %+v", *q.ICMP)
+	}
+}
+
+func TestMarshalRoundTripUDPWithPayload(t *testing.T) {
+	p := NewUDP(1, 2, UDPHeader{SrcPort: 53, DstPort: 5353}, 0)
+	p.Payload = []byte("hello")
+	q, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(q.Payload) != "hello" || q.UDP.SrcPort != 53 {
+		t.Fatalf("udp round trip: %+v payload=%q", q.UDP, q.Payload)
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	p := NewTCP(1, 2, TCPHeader{SrcPort: 1, DstPort: 2}, 100)
+	buf := p.Marshal()
+	buf[12] ^= 0xff // corrupt src address -> checksum fails
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+	if _, err := Unmarshal(buf[:10]); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(src, dst uint32, sp, dp uint16, seq, ack uint32, flags uint8, ttl uint8) bool {
+		p := NewTCP(Addr(src), Addr(dst), TCPHeader{
+			SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, Flags: flags & 0x1f,
+		}, 40)
+		if ttl == 0 {
+			ttl = 1
+		}
+		p.TTL = ttl
+		q, err := Unmarshal(p.Marshal())
+		if err != nil {
+			return false
+		}
+		return q.Src == p.Src && q.Dst == p.Dst && q.TTL == p.TTL && *q.TCP == *p.TCP
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example data.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := checksum(data); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %#x", got)
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	if ProtoTCP.String() != "tcp" || ProtoUDP.String() != "udp" || ProtoICMP.String() != "icmp" {
+		t.Fatal("proto names")
+	}
+	if Proto(99).String() != "proto(99)" {
+		t.Fatal("unknown proto name")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := NewTCP(MustParseAddr("10.0.0.1"), MustParseAddr("10.0.0.2"), TCPHeader{SrcPort: 1, DstPort: 2, Seq: 3}, 40)
+	if s := p.String(); s == "" {
+		t.Fatal("empty string")
+	}
+}

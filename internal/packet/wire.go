@@ -1,0 +1,172 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire serialization. The simulator moves *Packet values directly, but the
+// wire codec serves three purposes: it keeps the model honest (every field
+// has a place in a real header), it lets tests assert header layout, and it
+// gives the MitM attacker a byte-level view when needed.
+//
+// The simulator's usual trick of modeling bulk data without materializing
+// bytes is preserved: Packet.Size is carried in the IPv4 TotalLength field
+// even when Payload is empty, and is restored by Unmarshal.
+
+const (
+	ipv4HeaderLen = 20
+	tcpHeaderLen  = 20
+	udpHeaderLen  = 8
+	icmpHeaderLen = 17 // type, code, checksum, id, seq + quoted orig (9)
+)
+
+// HeaderLen returns the combined IPv4+transport header length in bytes for
+// the packet's protocol.
+func (p *Packet) HeaderLen() int {
+	switch p.Proto {
+	case ProtoTCP:
+		return ipv4HeaderLen + tcpHeaderLen
+	case ProtoUDP:
+		return ipv4HeaderLen + udpHeaderLen
+	case ProtoICMP:
+		return ipv4HeaderLen + icmpHeaderLen
+	default:
+		return ipv4HeaderLen
+	}
+}
+
+// Marshal serializes the packet into a fresh buffer: a real IPv4 header
+// (no options) followed by the transport header and payload. The IPv4
+// TotalLength field carries max(Size, headers+len(Payload)) so that
+// modeled-but-unmaterialized bulk data round-trips.
+func (p *Packet) Marshal() []byte {
+	hlen := p.HeaderLen()
+	total := hlen + len(p.Payload)
+	if p.Size > total {
+		total = p.Size
+	}
+	buf := make([]byte, hlen+len(p.Payload))
+	// IPv4 header.
+	buf[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(buf[2:], uint16(total))
+	binary.BigEndian.PutUint16(buf[4:], uint16(p.ID)) // identification (low bits)
+	buf[8] = p.TTL
+	buf[9] = byte(p.Proto)
+	binary.BigEndian.PutUint32(buf[12:], uint32(p.Src))
+	binary.BigEndian.PutUint32(buf[16:], uint32(p.Dst))
+	binary.BigEndian.PutUint16(buf[10:], checksum(buf[:ipv4HeaderLen]))
+
+	t := buf[ipv4HeaderLen:]
+	switch {
+	case p.TCP != nil:
+		binary.BigEndian.PutUint16(t[0:], p.TCP.SrcPort)
+		binary.BigEndian.PutUint16(t[2:], p.TCP.DstPort)
+		binary.BigEndian.PutUint32(t[4:], p.TCP.Seq)
+		binary.BigEndian.PutUint32(t[8:], p.TCP.Ack)
+		t[12] = 5 << 4 // data offset
+		t[13] = p.TCP.Flags
+		binary.BigEndian.PutUint16(t[14:], p.TCP.Window)
+	case p.UDP != nil:
+		binary.BigEndian.PutUint16(t[0:], p.UDP.SrcPort)
+		binary.BigEndian.PutUint16(t[2:], p.UDP.DstPort)
+		binary.BigEndian.PutUint16(t[4:], uint16(udpHeaderLen+len(p.Payload)))
+	case p.ICMP != nil:
+		t[0] = p.ICMP.Type
+		t[1] = p.ICMP.Code
+		binary.BigEndian.PutUint16(t[4:], p.ICMP.ID)
+		binary.BigEndian.PutUint16(t[6:], p.ICMP.Seq)
+		binary.BigEndian.PutUint32(t[8:], uint32(p.ICMP.OrigSrc))
+		binary.BigEndian.PutUint32(t[12:], uint32(p.ICMP.OrigDst))
+		t[16] = p.ICMP.OrigTTL
+	}
+	copy(buf[hlen:], p.Payload)
+	return buf
+}
+
+// Unmarshal parses a buffer produced by Marshal. It validates the IPv4
+// checksum and version.
+func Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) < ipv4HeaderLen {
+		return nil, fmt.Errorf("packet: short buffer (%d bytes)", len(buf))
+	}
+	if buf[0] != 0x45 {
+		return nil, fmt.Errorf("packet: unsupported version/IHL %#x", buf[0])
+	}
+	if checksum(buf[:ipv4HeaderLen]) != 0 {
+		return nil, fmt.Errorf("packet: bad IPv4 checksum")
+	}
+	p := &Packet{
+		Size:  int(binary.BigEndian.Uint16(buf[2:])),
+		ID:    uint64(binary.BigEndian.Uint16(buf[4:])),
+		TTL:   buf[8],
+		Proto: Proto(buf[9]),
+		Src:   Addr(binary.BigEndian.Uint32(buf[12:])),
+		Dst:   Addr(binary.BigEndian.Uint32(buf[16:])),
+	}
+	t := buf[ipv4HeaderLen:]
+	switch p.Proto {
+	case ProtoTCP:
+		if len(t) < tcpHeaderLen {
+			return nil, fmt.Errorf("packet: short TCP header")
+		}
+		p.TCP = &TCPHeader{
+			SrcPort: binary.BigEndian.Uint16(t[0:]),
+			DstPort: binary.BigEndian.Uint16(t[2:]),
+			Seq:     binary.BigEndian.Uint32(t[4:]),
+			Ack:     binary.BigEndian.Uint32(t[8:]),
+			Flags:   t[13],
+			Window:  binary.BigEndian.Uint16(t[14:]),
+		}
+		p.Payload = clonePayload(t[tcpHeaderLen:])
+	case ProtoUDP:
+		if len(t) < udpHeaderLen {
+			return nil, fmt.Errorf("packet: short UDP header")
+		}
+		p.UDP = &UDPHeader{
+			SrcPort: binary.BigEndian.Uint16(t[0:]),
+			DstPort: binary.BigEndian.Uint16(t[2:]),
+		}
+		p.Payload = clonePayload(t[udpHeaderLen:])
+	case ProtoICMP:
+		if len(t) < icmpHeaderLen {
+			return nil, fmt.Errorf("packet: short ICMP header")
+		}
+		p.ICMP = &ICMPHeader{
+			Type:    t[0],
+			Code:    t[1],
+			ID:      binary.BigEndian.Uint16(t[4:]),
+			Seq:     binary.BigEndian.Uint16(t[6:]),
+			OrigSrc: Addr(binary.BigEndian.Uint32(t[8:])),
+			OrigDst: Addr(binary.BigEndian.Uint32(t[12:])),
+			OrigTTL: t[16],
+		}
+		p.Payload = clonePayload(t[icmpHeaderLen:])
+	default:
+		return nil, fmt.Errorf("packet: unknown protocol %d", p.Proto)
+	}
+	return p, nil
+}
+
+func clonePayload(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// checksum computes the Internet checksum (RFC 1071) over buf. Computing it
+// over a header whose checksum field holds the correct value yields 0.
+func checksum(buf []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(buf); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(buf[i:]))
+	}
+	if len(buf)%2 == 1 {
+		sum += uint32(buf[len(buf)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

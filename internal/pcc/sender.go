@@ -1,0 +1,411 @@
+package pcc
+
+import (
+	"math"
+
+	"dui/internal/netsim"
+	"dui/internal/packet"
+	"dui/internal/stats"
+	"dui/internal/tcpflow"
+)
+
+// State is the sender's control state.
+type State int
+
+// Control states of the Allegro state machine.
+const (
+	Starting  State = iota // double the rate until utility drops
+	Deciding               // 4-MI randomized controlled trial at r(1±ε)
+	Adjusting              // move in the chosen direction with growing steps
+)
+
+// String renders the state name.
+func (s State) String() string {
+	switch s {
+	case Starting:
+		return "starting"
+	case Deciding:
+		return "deciding"
+	default:
+		return "adjusting"
+	}
+}
+
+// Config parameterizes a PCC flow.
+type Config struct {
+	Key packet.FlowKey
+	// StartRate/MinRate/MaxRate bound the sending rate in packets/s.
+	StartRate, MinRate, MaxRate float64
+	// PktSize is the wire size of each data packet (bytes).
+	PktSize int
+	// EpsMin is the trial granularity and escalation step (0.01); EpsMax
+	// is the cap (0.05) that bounds the forced oscillation.
+	EpsMin, EpsMax float64
+	// MIDur is the monitor interval duration; 0 derives it from the RTT
+	// (1.7×SRTT, floored at MinMI).
+	MIDur, MinMI float64
+	// Utility defaults to Allegro.
+	Utility Utility
+	// Duration stops the flow at this simulation time (0 = run forever).
+	Duration float64
+}
+
+func (c *Config) defaults() {
+	if c.StartRate <= 0 {
+		c.StartRate = 100
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = 10
+	}
+	if c.MaxRate <= 0 {
+		c.MaxRate = 1e5
+	}
+	if c.PktSize <= 0 {
+		c.PktSize = 1250
+	}
+	if c.EpsMin <= 0 {
+		c.EpsMin = 0.01
+	}
+	if c.EpsMax <= 0 {
+		c.EpsMax = 0.05
+	}
+	if c.MinMI <= 0 {
+		c.MinMI = 0.25
+	}
+	if c.Utility == nil {
+		c.Utility = Allegro
+	}
+}
+
+// MIRecord is the outcome of one monitor interval, kept for analysis.
+type MIRecord struct {
+	ID      int
+	Start   float64
+	Rate    float64
+	Role    string // "start", "up", "down", "adjust", "filler"
+	Sent    int
+	Acked   int
+	Loss    float64
+	Utility float64
+	Eps     float64
+	State   State
+}
+
+// Sender is one PCC Allegro flow.
+type Sender struct {
+	net  *netsim.Network
+	node *netsim.Node
+	cfg  Config
+	rng  *stats.RNG
+
+	state State
+	rate  float64 // current base rate r
+	eps   float64
+
+	// RCT bookkeeping.
+	trialPlan    []float64 // rate multipliers for the pending trial MIs
+	trialRoles   []string
+	trialResults []*MIRecord
+	adjustDir    float64
+	adjustStep   int
+	lastUtility  float64
+	prevMIUtil   float64
+	// pendingStart/pendingAdjust guard against re-evaluating the same
+	// rate while an evaluation MI's result is still in flight (results
+	// lag the MI end by ~1 RTT); fillers run in the meantime.
+	pendingStart  bool
+	pendingAdjust bool
+
+	// Per-MI accounting.
+	nextSeq  uint64
+	ackSet   map[uint64]bool
+	sentAt   map[uint64]float64 // RTT probes (sparse)
+	srtt     float64
+	records  []MIRecord
+	epsTrace []float64
+	stopped  bool
+}
+
+// Start launches a PCC flow from src to dst. The receiver echoes every
+// data packet's sequence number; loss per MI is counted from the echoes.
+func Start(src, dst *tcpflow.Endpoint, cfg Config, rng *stats.RNG) *Sender {
+	cfg.defaults()
+	s := &Sender{
+		net:    src.Node().Net(),
+		node:   src.Node(),
+		cfg:    cfg,
+		rng:    rng,
+		state:  Starting,
+		rate:   cfg.StartRate,
+		eps:    cfg.EpsMin,
+		ackSet: map[uint64]bool{},
+		sentAt: map[uint64]float64{},
+		srtt:   0.1,
+	}
+	s.prevMIUtil = math.Inf(-1)
+	// Receiver: echo the sequence number of each arriving data packet.
+	rk := cfg.Key.Reverse()
+	dst.Register(cfg.Key, netsim.ReceiverFunc(func(now float64, p *packet.Packet) {
+		if p.TCP == nil {
+			return
+		}
+		echo := packet.NewTCP(rk.Src, rk.Dst, packet.TCPHeader{
+			SrcPort: rk.SrcPort, DstPort: rk.DstPort,
+			Ack: p.TCP.Seq, Flags: packet.FlagACK,
+		}, 40)
+		dst.Node().Send(echo)
+	}))
+	src.Register(rk, netsim.ReceiverFunc(s.onAck))
+	s.net.Engine().After(0, func() { s.startMI(s.rate, "start") })
+	return s
+}
+
+// Records returns all finalized MI records.
+func (s *Sender) Records() []MIRecord { return s.records }
+
+// Rate returns the current base rate (packets/s).
+func (s *Sender) Rate() float64 { return s.rate }
+
+// Eps returns the current trial amplitude ε.
+func (s *Sender) Eps() float64 { return s.eps }
+
+// State returns the control state.
+func (s *Sender) State() State { return s.state }
+
+// Stop halts the flow.
+func (s *Sender) Stop() { s.stopped = true }
+
+// miDuration returns the monitor interval length.
+func (s *Sender) miDuration() float64 {
+	if s.cfg.MIDur > 0 {
+		return s.cfg.MIDur
+	}
+	d := 1.7 * s.srtt
+	if d < s.cfg.MinMI {
+		d = s.cfg.MinMI
+	}
+	return d
+}
+
+// startMI begins a monitor interval at the given rate and schedules its
+// packet transmissions (uniform pacing) and its finalization.
+func (s *Sender) startMI(rate float64, role string) {
+	if s.stopped {
+		return
+	}
+	now := s.net.Now()
+	if s.cfg.Duration > 0 && now >= s.cfg.Duration {
+		s.stopped = true
+		return
+	}
+	dur := s.miDuration()
+	rec := &MIRecord{
+		ID: len(s.records) + len(s.trialResults) + 1, Start: now,
+		Rate: rate, Role: role, Eps: s.eps, State: s.state,
+	}
+	switch role {
+	case "start":
+		s.pendingStart = true
+	case "adjust":
+		s.pendingAdjust = true
+	}
+	// Pace at exactly 1/rate spacing: the wire inter-packet gap IS the
+	// rate signal (both for the receiver-side throughput and for any
+	// observer), so it must not be quantized to the MI duration.
+	n := int(rate * dur)
+	if n < 1 {
+		n = 1
+	}
+	gap := 1 / rate
+	for i := 0; i < n; i++ {
+		seq := s.nextSeq
+		s.nextSeq++
+		probe := i%16 == 0 // sparse RTT probes
+		s.net.Engine().At(now+float64(i)*gap, func() {
+			if s.stopped {
+				return
+			}
+			if probe {
+				s.sentAt[seq] = s.net.Now()
+			}
+			p := packet.NewTCP(s.cfg.Key.Src, s.cfg.Key.Dst, packet.TCPHeader{
+				SrcPort: s.cfg.Key.SrcPort, DstPort: s.cfg.Key.DstPort,
+				Seq: uint32(seq), Flags: packet.FlagACK,
+			}, s.cfg.PktSize)
+			s.node.Send(p)
+		})
+	}
+	rec.Sent = n
+	hi := s.nextSeq
+	// The next MI starts back-to-back; results are finalized one RTT
+	// (plus margin) after the MI ends so in-flight echoes are counted.
+	s.net.Engine().At(now+dur, func() { s.nextMI() })
+	s.net.Engine().At(now+dur+1.5*s.srtt+0.05, func() { s.finalizeMI(rec, hi) })
+}
+
+// finalizeMI computes loss and utility once echoes have had time to land.
+func (s *Sender) finalizeMI(rec *MIRecord, hi uint64) {
+	if s.stopped {
+		return
+	}
+	acked := 0
+	for seq := hi - uint64(rec.Sent); seq < hi; seq++ {
+		if s.ackSet[seq] {
+			acked++
+			delete(s.ackSet, seq)
+		}
+	}
+	rec.Acked = acked
+	rec.Loss = 1 - float64(acked)/float64(rec.Sent)
+	rec.Utility = s.cfg.Utility(rec.Rate, rec.Loss)
+	s.records = append(s.records, *rec)
+	s.onResult(rec)
+}
+
+// nextMI picks the next MI's rate according to the control state.
+func (s *Sender) nextMI() {
+	if s.stopped {
+		return
+	}
+	if len(s.trialPlan) > 0 {
+		mult := s.trialPlan[0]
+		role := s.trialRoles[0]
+		s.trialPlan = s.trialPlan[1:]
+		s.trialRoles = s.trialRoles[1:]
+		s.startMI(s.rate*mult, role)
+		return
+	}
+	switch s.state {
+	case Starting:
+		if s.pendingStart {
+			s.startMI(s.rate, "filler")
+		} else {
+			s.startMI(s.rate, "start")
+		}
+	case Deciding:
+		// Waiting for trial results: keep sending at the base rate.
+		s.startMI(s.rate, "filler")
+	case Adjusting:
+		if s.pendingAdjust {
+			s.startMI(s.rate, "filler")
+		} else {
+			s.startMI(s.rate, "adjust")
+		}
+	}
+}
+
+// onResult advances the control state machine with one finalized MI.
+func (s *Sender) onResult(rec *MIRecord) {
+	s.epsTrace = append(s.epsTrace, s.eps)
+	switch s.state {
+	case Starting:
+		if rec.Role != "start" {
+			return
+		}
+		s.pendingStart = false
+		if rec.Utility > s.prevMIUtil {
+			s.prevMIUtil = rec.Utility
+			s.rate = s.clamp(rec.Rate * 2)
+			return
+		}
+		// Utility dropped: revert to the last good rate and decide.
+		s.rate = s.clamp(rec.Rate / 2)
+		s.enterDecision()
+	case Deciding:
+		if rec.Role == "up" || rec.Role == "down" {
+			cp := *rec
+			s.trialResults = append(s.trialResults, &cp)
+			if len(s.trialResults) == 4 {
+				s.decide()
+			}
+		}
+	case Adjusting:
+		if rec.Role != "adjust" {
+			return
+		}
+		s.pendingAdjust = false
+		if rec.Utility > s.lastUtility {
+			s.lastUtility = rec.Utility
+			s.adjustStep++
+			s.rate = s.clamp(s.rate * (1 + s.adjustDir*float64(s.adjustStep)*s.cfg.EpsMin))
+			return
+		}
+		// Utility fell: step back and re-run trials.
+		s.rate = s.clamp(s.rate / (1 + s.adjustDir*float64(s.adjustStep)*s.cfg.EpsMin))
+		s.enterDecision()
+	}
+}
+
+// enterDecision plans the 4-MI randomized controlled trial: two pairs,
+// each with one (1+ε) and one (1−ε) MI in random order.
+func (s *Sender) enterDecision() {
+	s.state = Deciding
+	s.pendingStart = false
+	s.pendingAdjust = false
+	s.trialResults = s.trialResults[:0]
+	s.trialPlan = s.trialPlan[:0]
+	s.trialRoles = s.trialRoles[:0]
+	for pair := 0; pair < 2; pair++ {
+		up, down := 1+s.eps, 1-s.eps
+		if s.rng.Bool(0.5) {
+			s.trialPlan = append(s.trialPlan, up, down)
+			s.trialRoles = append(s.trialRoles, "up", "down")
+		} else {
+			s.trialPlan = append(s.trialPlan, down, up)
+			s.trialRoles = append(s.trialRoles, "down", "up")
+		}
+	}
+}
+
+// decide evaluates the completed RCT.
+func (s *Sender) decide() {
+	var ups, downs []*MIRecord
+	for _, r := range s.trialResults {
+		if r.Role == "up" {
+			ups = append(ups, r)
+		} else {
+			downs = append(downs, r)
+		}
+	}
+	upWins := ups[0].Utility > downs[0].Utility && ups[1].Utility > downs[1].Utility
+	downWins := ups[0].Utility < downs[0].Utility && ups[1].Utility < downs[1].Utility
+	s.trialResults = s.trialResults[:0]
+	switch {
+	case upWins:
+		s.beginAdjust(+1, ups)
+	case downWins:
+		s.beginAdjust(-1, downs)
+	default:
+		// Inconclusive: stay, escalate ε — the state the §4.2 attacker
+		// pins the flow into.
+		s.eps = math.Min(s.eps+s.cfg.EpsMin, s.cfg.EpsMax)
+		s.enterDecision()
+	}
+}
+
+func (s *Sender) beginAdjust(dir float64, winners []*MIRecord) {
+	s.state = Adjusting
+	s.adjustDir = dir
+	s.adjustStep = 1
+	s.lastUtility = math.Max(winners[0].Utility, winners[1].Utility)
+	s.eps = s.cfg.EpsMin
+	s.rate = s.clamp(s.rate * (1 + dir*s.eps))
+}
+
+func (s *Sender) clamp(r float64) float64 {
+	return math.Max(s.cfg.MinRate, math.Min(s.cfg.MaxRate, r))
+}
+
+// onAck records an echoed sequence number and an RTT sample.
+func (s *Sender) onAck(now float64, p *packet.Packet) {
+	if p.TCP == nil {
+		return
+	}
+	seq := uint64(p.TCP.Ack)
+	s.ackSet[seq] = true
+	if at, ok := s.sentAt[seq]; ok {
+		delete(s.sentAt, seq)
+		rtt := now - at
+		s.srtt = 0.875*s.srtt + 0.125*rtt
+	}
+}

@@ -1,0 +1,65 @@
+// Package pcc reimplements PCC Allegro (Dong et al., NSDI'15) — the
+// performance-oriented congestion controller attacked in §4.2 of the paper
+// — together with the MitM utility-equalizer attack that forces its rate
+// to oscillate.
+//
+// PCC replaces TCP's hardwired control rules with online A/B experiments:
+// time is sliced into monitor intervals (MIs); the sender tries rates
+// (1+ε)·r and (1−ε)·r in randomized controlled trials, measures a utility
+// built from throughput and loss, and moves in the direction of higher
+// utility. If a trial pair is inconclusive it increases ε, up to a 5% cap.
+// The §4.2 attacker drops just enough packets in whichever trial runs
+// faster that the utilities tie: every trial is inconclusive, ε escalates
+// to the cap, and the flow oscillates ±5% forever instead of converging.
+package pcc
+
+import "math"
+
+// Utility maps one monitor interval's sending rate x (packets/second) and
+// observed loss fraction L to a utility value. Comparisons are only ever
+// made between MIs of the same flow, so units cancel.
+type Utility func(x, loss float64) float64
+
+// Allegro is PCC's default utility: u = T·sigmoid(L−0.05) − x·L with
+// T = x·(1−L) and sigmoid α=100. The sigmoid collapses utility once loss
+// exceeds the 5% cutoff, which is the safety brake the attacker's drop
+// budget must stay under.
+func Allegro(x, loss float64) float64 {
+	t := x * (1 - loss)
+	return t*sigmoid(100*(loss-0.05)) - x*loss
+}
+
+// Linear is the loss-linear ablation utility u = x·(1−L) − 10·x·L: no
+// sigmoid cliff, so the equalizer needs a different (larger) drop budget.
+// Used by the ablation bench comparing utility shapes under attack.
+func Linear(x, loss float64) float64 {
+	return x*(1-loss) - 10*x*loss
+}
+
+func sigmoid(y float64) float64 { return 1 / (1 + math.Exp(y)) }
+
+// EqualizingDrop returns the drop probability an attacker must apply to a
+// trial running at fast·r so that its utility under u ties with the
+// opposite trial running at slow·r with base loss lossBase: it solves
+// u(fast, eff(p)) = u(slow, lossBase) for p by bisection (utility is
+// monotone decreasing in loss). With the trials tied, PCC's randomized
+// controlled trial is inconclusive and ε escalates to its cap — the §4.2
+// attack. Knowing u is Kerckhoff's principle (§2.1): the attacker knows
+// everything about the system except secrets.
+func EqualizingDrop(u Utility, fast, slow, lossBase float64) float64 {
+	if fast <= slow {
+		return 0
+	}
+	target := u(slow, lossBase)
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		eff := 1 - (1-lossBase)*(1-mid) // compound loss seen by the trial
+		if u(fast, eff) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

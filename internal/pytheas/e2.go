@@ -1,0 +1,160 @@
+// Package pytheas reimplements the decision core of Pytheas (Jiang et al.,
+// NSDI'17) — the group-based, data-driven QoE optimization framework
+// attacked in §4.1 of the paper — together with the report-poisoning and
+// selective-throttling attacks and the §5 robust-aggregation defense.
+//
+// Pytheas groups sessions by similarity (ISP, location, content) and runs
+// a real-time exploration–exploitation (E2) process per group: each
+// session reports its QoE for the option it was assigned (e.g., a CDN
+// site), and the group steers new assignments toward the option with the
+// best recent reports. Decision-making at group granularity is exactly
+// what the attacks exploit: a minority of manipulated reports drives the
+// decision for every client in the group.
+package pytheas
+
+import (
+	"math"
+
+	"dui/internal/stats"
+)
+
+// Option indexes one of a group's choices (CDN site, bitrate, replica...).
+type Option int
+
+// Aggregator reduces a window of QoE reports to a single score. Mean is
+// Pytheas' default; Median/TrimmedMean/MADFilteredMean are the §5 defense
+// ablation.
+type Aggregator func(window []float64) float64
+
+// Mean is the default (attack-prone) aggregator.
+func Mean(w []float64) float64 { return stats.Mean(w) }
+
+// Median aggregates by the 50th percentile.
+func Median(w []float64) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	return stats.Median(w)
+}
+
+// Trimmed returns a trimmed-mean aggregator discarding the given fraction
+// at each tail.
+func Trimmed(frac float64) Aggregator {
+	return func(w []float64) float64 {
+		if len(w) == 0 {
+			return 0
+		}
+		return stats.TrimmedMean(w, frac)
+	}
+}
+
+// MADFiltered is the §5 defense: it inspects the distribution of reports
+// within the group and discards reports farther than k MADs from the
+// median ("the low-throughput clients can be tackled separately, removing
+// their impact on the larger population"), then averages the rest.
+func MADFiltered(k float64) Aggregator {
+	return func(w []float64) float64 {
+		if len(w) == 0 {
+			return 0
+		}
+		med := stats.Median(w)
+		mad := stats.MAD(w)
+		if mad == 0 {
+			return med
+		}
+		var kept []float64
+		for _, x := range w {
+			if math.Abs(x-med) <= k*mad {
+				kept = append(kept, x)
+			}
+		}
+		if len(kept) == 0 {
+			return med
+		}
+		return stats.Mean(kept)
+	}
+}
+
+// E2Config parameterizes a group's exploration–exploitation process.
+type E2Config struct {
+	// Options is the number of choices.
+	Options int
+	// Window is the number of recent reports kept per option.
+	Window int
+	// ExploreBonus is the UCB exploration constant.
+	ExploreBonus float64
+	// Aggregate reduces an option's report window to its score.
+	Aggregate Aggregator
+}
+
+// Defaults fills Pytheas-like parameters: 2 options, 200-report windows,
+// mean aggregation.
+func (c E2Config) Defaults() E2Config {
+	if c.Options <= 0 {
+		c.Options = 2
+	}
+	if c.Window <= 0 {
+		c.Window = 200
+	}
+	if c.ExploreBonus <= 0 {
+		c.ExploreBonus = 0.3
+	}
+	if c.Aggregate == nil {
+		c.Aggregate = Mean
+	}
+	return c
+}
+
+// Group is the per-group E2 state: a sliding window of QoE reports per
+// option and a UCB decision rule over the aggregated scores.
+type Group struct {
+	cfg     E2Config
+	windows [][]float64 // per option, ring semantics via slicing
+	total   int
+}
+
+// NewGroup returns a group with the (defaulted) config.
+func NewGroup(cfg E2Config) *Group {
+	cfg = cfg.Defaults()
+	return &Group{cfg: cfg, windows: make([][]float64, cfg.Options)}
+}
+
+// Report records one QoE measurement for an option.
+func (g *Group) Report(opt Option, qoe float64) {
+	w := append(g.windows[opt], qoe)
+	if len(w) > g.cfg.Window {
+		w = w[len(w)-g.cfg.Window:]
+	}
+	g.windows[opt] = w
+	g.total++
+}
+
+// Score returns the aggregated QoE score of an option (0 when no data).
+func (g *Group) Score(opt Option) float64 {
+	return g.cfg.Aggregate(g.windows[opt])
+}
+
+// Reports returns a copy of the current report window for an option.
+func (g *Group) Reports(opt Option) []float64 {
+	return append([]float64(nil), g.windows[opt]...)
+}
+
+// Decide returns the option for the next session: the one maximizing
+// score + bonus·sqrt(ln(total)/n), with unexplored options tried first.
+func (g *Group) Decide() Option {
+	best := Option(0)
+	bestScore := math.Inf(-1)
+	for i := range g.windows {
+		n := len(g.windows[i])
+		if n == 0 {
+			return Option(i) // explore untried options immediately
+		}
+		score := g.Score(Option(i)) +
+			g.cfg.ExploreBonus*math.Sqrt(math.Log(float64(g.total+1))/float64(n))
+		if score > bestScore {
+			bestScore = score
+			best = Option(i)
+		}
+	}
+	return best
+}

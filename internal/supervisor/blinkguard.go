@@ -1,0 +1,109 @@
+package supervisor
+
+import (
+	"math"
+
+	"dui/internal/blink"
+	"dui/internal/stats"
+)
+
+// RTOModel is the Blink supervisor's model of plausible retransmission
+// timing: upon a genuine remote failure, a flow's first retransmission
+// arrives one RTO after its last packet, and later ones at exponential
+// backoff — so the gap distribution is a mixture of {RTO, 2·RTO, 4·RTO}
+// over the flows' RTO values, which the supervisor derives from passively
+// measured RTTs. An attacker with host privileges does not know the RTT
+// distribution of the legitimate flows behind this router (§5), so her
+// fake retransmissions expose their own pacing instead.
+type RTOModel struct {
+	hist *stats.Histogram
+}
+
+// Histogram shape shared by model and observations: 50 ms bins over
+// [0, 4s).
+func gapHistogram() *stats.Histogram { return stats.NewHistogram(0, 4, 80) }
+
+// NewRTOModel builds the expected gap distribution from passively
+// observed smoothed RTTs. rtoMin is the protocol's minimum RTO (RFC 6298:
+// 200 ms in this repository's TCP model).
+func NewRTOModel(srtts []float64, rtoMin float64) *RTOModel {
+	if rtoMin <= 0 {
+		rtoMin = 0.2
+	}
+	h := gapHistogram()
+	for _, s := range srtts {
+		rto := math.Max(rtoMin, 1.5*s)
+		// First retransmission and two backoff stages, weighted by how
+		// often each is observed during a failure window. The observed
+		// gap is the RTO plus the residual inter-packet spacing of the
+		// flow (its last packet predates the failure by up to one
+		// spacing), so each stage is spread over a +0..250 ms band.
+		for i, w := range []int{6, 3, 1} {
+			g := rto * math.Pow(2, float64(i))
+			for n := 0; n < w; n++ {
+				for u := 0.0; u < 0.25; u += 0.05 {
+					h.Add(g + u)
+				}
+			}
+		}
+	}
+	return &RTOModel{hist: h}
+}
+
+// Check compares observed retransmission gaps against the model and
+// returns the verdict. The risk is half the L1 distance between the
+// normalized histograms (0 = identical, 1 = disjoint).
+func (m *RTOModel) Check(gaps []float64) Verdict {
+	if len(gaps) == 0 {
+		return Verdict{Plausible: true, Risk: 0, Reason: "no retransmissions observed"}
+	}
+	obs := gapHistogram()
+	for _, g := range gaps {
+		obs.Add(g)
+	}
+	risk := m.hist.Distance(obs) / 2
+	v := Verdict{Risk: risk, Plausible: risk < 0.5}
+	if v.Plausible {
+		v.Reason = "retransmission timing matches the expected RTO distribution"
+	} else {
+		v.Reason = "retransmission timing inconsistent with the RTO distribution of legitimate flows"
+	}
+	return v
+}
+
+// BlinkGuard wires an RTOModel into a blink.Pipeline: it records the
+// retransmission gaps of the monitored prefix and vetoes failovers whose
+// gap window fails the plausibility check.
+type BlinkGuard struct {
+	Model *RTOModel
+	// Window is how far back (seconds) gaps are considered at veto time.
+	Window float64
+
+	// Verdicts records every check performed.
+	Verdicts []Verdict
+
+	gaps  []float64
+	times []float64
+}
+
+// GuardPipeline installs the guard on pipeline's first monitored prefix
+// and returns it. Call before traffic starts.
+func GuardPipeline(p *blink.Pipeline, model *RTOModel) *BlinkGuard {
+	g := &BlinkGuard{Model: model, Window: 3}
+	p.Monitor(0).OnRetrans(func(ev blink.RetransEvent) {
+		g.gaps = append(g.gaps, ev.Gap)
+		g.times = append(g.times, ev.Now)
+	})
+	p.Veto = func(r blink.Reroute, m *blink.Monitor) bool {
+		var recent []float64
+		for i := range g.gaps {
+			if g.times[i] >= r.Now-g.Window {
+				recent = append(recent, g.gaps[i])
+			}
+		}
+		v := model.Check(recent)
+		g.Verdicts = append(g.Verdicts, v)
+		return !v.Plausible
+	}
+	return g
+}

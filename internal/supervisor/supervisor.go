@@ -1,0 +1,63 @@
+// Package supervisor implements the §5 countermeasure architecture of the
+// paper (Fig 3): data-driven systems — "drivers" — are paired with
+// external supervisors that model plausible network behaviour, estimate
+// the risk that the driver is being fed adversarial inputs ("driving
+// under the influence"), and constrain the driver's allowed operating
+// range.
+//
+// Three concrete supervisors are provided, one per case-study system:
+//
+//   - Blink (§5 "applicability"): learn the RTT distribution over many
+//     flows, derive the expected RTO distribution upon a genuine failure,
+//     and veto reroutes whose retransmission timing does not match it.
+//   - Pytheas: inspect the distribution of QoE reports within a group; a
+//     deviating minority indicates ill-formed groups or malicious inputs
+//     and is excluded from the decision (implemented as the aggregation
+//     ablation in package pytheas; here as an explicit detector).
+//   - PCC: bound the trial amplitude ε (constraining the decision range,
+//     countermeasure III) and flag loss that correlates with the faster
+//     trials (input-quality check, countermeasure I).
+package supervisor
+
+import "fmt"
+
+// Verdict is a supervisor's judgement about a driver decision or input
+// window.
+type Verdict struct {
+	// Plausible is false when the evidence indicates adversarial inputs.
+	Plausible bool
+	// Risk is a score in [0, 1]: 0 = clearly benign, 1 = clearly
+	// adversarial. The veto threshold is the policy knob trading missed
+	// attacks against blocked legitimate reactions.
+	Risk float64
+	// Reason is a human-readable explanation.
+	Reason string
+}
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	state := "plausible"
+	if !v.Plausible {
+		state = "IMPLAUSIBLE"
+	}
+	return fmt.Sprintf("%s (risk %.2f): %s", state, v.Risk, v.Reason)
+}
+
+// Range is an allowed operating range granted by a supervisor to a driver
+// (countermeasure III): the driver may move its control variable only
+// within it.
+type Range struct{ Min, Max float64 }
+
+// Clamp returns x restricted to the range.
+func (r Range) Clamp(x float64) float64 {
+	if x < r.Min {
+		return r.Min
+	}
+	if x > r.Max {
+		return r.Max
+	}
+	return x
+}
+
+// Contains reports whether x lies within the range.
+func (r Range) Contains(x float64) bool { return x >= r.Min && x <= r.Max }

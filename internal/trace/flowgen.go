@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"container/heap"
+	"math"
+
+	"dui/internal/packet"
+	"dui/internal/stats"
+)
+
+// LegitConfig describes a population of legitimate TCP flows toward a
+// victim prefix. The population is held constant by renewal: when a flow's
+// active duration ends, a fresh flow (new 5-tuple) starts immediately —
+// matching how Blink's evaluation keeps a stable per-prefix flow count.
+type LegitConfig struct {
+	Victim packet.Prefix
+	// Flows is the number of concurrently active flows.
+	Flows int
+	// Dur samples each flow's active duration.
+	Dur DurationDist
+	// PPS is the mean per-flow packet rate (exponential interarrivals).
+	// It must comfortably exceed 1/(Blink's 2s inactivity timeout) or
+	// legitimate flows get evicted for idleness rather than ending.
+	PPS float64
+	// Until stops the stream at this time.
+	Until float64
+	// SrcBase is the first source address; each new flow takes the next.
+	SrcBase packet.Addr
+	// MSS is the segment size (default 1460).
+	MSS int
+}
+
+// NewLegit returns a stream of packets from the configured population.
+func NewLegit(cfg LegitConfig, rng *stats.RNG) Stream {
+	if cfg.MSS <= 0 {
+		cfg.MSS = 1460
+	}
+	g := &flowStream{cfg: cfg, rng: rng}
+	for i := 0; i < cfg.Flows; i++ {
+		f := g.newFlow(0)
+		// Desynchronize: first packets spread over one interarrival.
+		f.next = rng.Float64() / cfg.PPS
+		heap.Push(&g.h, f)
+	}
+	return g
+}
+
+type flowState struct {
+	key  packet.FlowKey
+	dst  packet.Addr
+	seq  uint32
+	end  float64
+	next float64
+}
+
+type flowStream struct {
+	cfg     LegitConfig
+	rng     *stats.RNG
+	h       flowHeap
+	counter uint32
+}
+
+func (g *flowStream) newFlow(start float64) *flowState {
+	g.counter++
+	src := g.cfg.SrcBase + packet.Addr(g.counter)
+	dst := g.cfg.Victim.Nth(uint32(g.rng.IntN(250)) + 1)
+	key := packet.FlowKey{
+		Src: src, Dst: dst,
+		SrcPort: uint16(1024 + g.rng.IntN(60000)), DstPort: 443,
+		Proto: packet.ProtoTCP,
+	}
+	return &flowState{
+		key:  key,
+		dst:  dst,
+		end:  start + g.cfg.Dur.Sample(g.rng),
+		next: start + g.rng.Exp(1/g.cfg.PPS),
+	}
+}
+
+// Next implements Stream.
+func (g *flowStream) Next() (Event, bool) {
+	for {
+		if len(g.h) == 0 {
+			return Event{}, false
+		}
+		f := g.h[0]
+		if f.next > g.cfg.Until {
+			return Event{}, false
+		}
+		if f.next > f.end {
+			// Flow over: renew in place.
+			nf := g.newFlow(f.next)
+			g.h[0] = nf
+			heap.Fix(&g.h, 0)
+			continue
+		}
+		at := f.next
+		h := packet.TCPHeader{
+			SrcPort: f.key.SrcPort, DstPort: f.key.DstPort,
+			Seq: f.seq, Flags: packet.FlagACK,
+		}
+		p := packet.NewTCP(f.key.Src, f.key.Dst, h, g.cfg.MSS+40)
+		f.seq += uint32(g.cfg.MSS)
+		f.next = at + g.rng.Exp(1/g.cfg.PPS)
+		heap.Fix(&g.h, 0)
+		return Event{Time: at, Pkt: p}, true
+	}
+}
+
+type flowHeap []*flowState
+
+func (h flowHeap) Len() int            { return len(h) }
+func (h flowHeap) Less(i, j int) bool  { return h[i].next < h[j].next }
+func (h flowHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *flowHeap) Push(x interface{}) { *h = append(*h, x.(*flowState)) }
+func (h *flowHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	*h = old[:n-1]
+	return f
+}
+
+// MaliciousConfig describes the §3.1 attacker's flow pool: flows that are
+// always active (so once Blink samples one it is never evicted for
+// inactivity) and that can switch to emitting fake TCP retransmissions —
+// duplicate sequence numbers — at a chosen time. Sources are spoofed; no
+// TCP connection with the victim exists.
+type MaliciousConfig struct {
+	Victim packet.Prefix
+	Flows  int
+	// PPS is the per-flow packet rate (near-constant spacing, ±10%
+	// jitter — attacker-paced).
+	PPS   float64
+	Until float64
+	// SrcBase allocates spoofed source addresses.
+	SrcBase packet.Addr
+	// RetransmitFrom is the time from which every packet repeats the
+	// flow's sequence number (a continuous fake retransmission storm).
+	// Use math.Inf(1) to never trigger, 0 to storm from the start.
+	RetransmitFrom float64
+	// MimicRTO, when set, paces the post-trigger storm like genuine
+	// RTO-driven retransmissions — gaps drawn from {RTOmin, 2·RTOmin,
+	// 4·RTOmin} plus residual jitter — instead of the pool's own packet
+	// rate. This is the adaptive attacker of the §5 discussion: the
+	// RTO floor is a public protocol constant, so an attacker can mimic
+	// it without knowing per-flow RTTs when the RTT distribution is
+	// dominated by the floor.
+	MimicRTO bool
+	// RTOMin is the mimicked floor (default 0.2 s, RFC 6298).
+	RTOMin float64
+	MSS    int
+}
+
+// NewMalicious returns the attack pool stream.
+func NewMalicious(cfg MaliciousConfig, rng *stats.RNG) Stream {
+	if cfg.MSS <= 0 {
+		cfg.MSS = 1460
+	}
+	m := &malStream{cfg: cfg, rng: rng}
+	for i := 0; i < cfg.Flows; i++ {
+		key := packet.FlowKey{
+			Src:     cfg.SrcBase + packet.Addr(i+1),
+			Dst:     cfg.Victim.Nth(uint32(rng.IntN(250)) + 1),
+			SrcPort: uint16(1024 + rng.IntN(60000)), DstPort: 443,
+			Proto: packet.ProtoTCP,
+		}
+		m.h = append(m.h, &flowState{
+			key:  key,
+			end:  math.Inf(1),
+			next: rng.Float64() / cfg.PPS,
+		})
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+type malStream struct {
+	cfg MaliciousConfig
+	rng *stats.RNG
+	h   flowHeap
+}
+
+// Next implements Stream.
+func (m *malStream) Next() (Event, bool) {
+	if len(m.h) == 0 {
+		return Event{}, false
+	}
+	f := m.h[0]
+	if f.next > m.cfg.Until {
+		return Event{}, false
+	}
+	at := f.next
+	seq := f.seq
+	if at >= m.cfg.RetransmitFrom {
+		// Fake retransmission: repeat the last-sent sequence number so a
+		// data-plane observer flags this packet as a retransmit.
+		if seq >= uint32(m.cfg.MSS) {
+			seq -= uint32(m.cfg.MSS)
+		}
+	} else {
+		f.seq += uint32(m.cfg.MSS) // look like ordinary traffic
+	}
+	h := packet.TCPHeader{
+		SrcPort: f.key.SrcPort, DstPort: f.key.DstPort,
+		Seq: seq, Flags: packet.FlagACK,
+	}
+	p := packet.NewTCP(f.key.Src, f.key.Dst, h, m.cfg.MSS+40)
+	// The attacker paces her own traffic: near-constant spacing (±10%
+	// jitter) so a flow is never idle long enough to be evicted. This is
+	// the "always remain active" requirement of §3.1. The adaptive
+	// variant paces the storm itself like RTO backoff.
+	// The transition into the storm must be paced like an RTO too: the
+	// first duplicate's gap is the one the supervisor scrutinizes first.
+	if m.cfg.MimicRTO && at+1/m.cfg.PPS >= m.cfg.RetransmitFrom {
+		rto := m.cfg.RTOMin
+		if rto <= 0 {
+			rto = 0.2
+		}
+		mult := 1.0
+		switch r := m.rng.Float64(); {
+		case r < 0.3:
+			mult = 2
+		case r < 0.4:
+			mult = 4
+		}
+		f.next = at + rto*mult + 0.25*m.rng.Float64()
+	} else {
+		f.next = at + m.rng.Uniform(0.9, 1.1)/m.cfg.PPS
+	}
+	heap.Fix(&m.h, 0)
+	return Event{Time: at, Pkt: p}, true
+}

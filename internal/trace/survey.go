@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"dui/internal/stats"
+)
+
+// SurveyPrefix is one synthetic "popular destination prefix": a flow
+// duration distribution and a per-flow packet rate, standing in for one of
+// the top-20 CAIDA prefixes analyzed in §3.1.
+type SurveyPrefix struct {
+	Name string
+	Dur  DurationDist
+	PPS  float64
+}
+
+// SyntheticSurvey generates n prefixes with heavy-tailed (log-normal) flow
+// durations whose parameters span the range observed in backbone traces:
+// mean flow durations from a couple of seconds to tens of seconds, sigma
+// between 0.8 and 1.6. The paper reports that across the top-20 prefixes
+// of each CAIDA trace, the median time a flow remains sampled is ~5 s and
+// half the prefixes are ≥10 s on at least one trace; this generator spans
+// that regime so the required-qm analysis reproduces the same crossovers.
+func SyntheticSurvey(n int, rng *stats.RNG) []SurveyPrefix {
+	out := make([]SurveyPrefix, n)
+	for i := range out {
+		// Mean durations log-uniform in [0.7s, 15s]. Blink's sampling
+		// adds the ~2s inactivity-eviction lag on top, so this range
+		// lands the measured tR distribution in the paper's regime
+		// (median ~5s, a substantial tail at >=10s).
+		mean := 0.7 * math.Pow(15/0.7, rng.Float64())
+		sigma := rng.Uniform(0.8, 1.6)
+		mu := math.Log(mean) - sigma*sigma/2
+		out[i] = SurveyPrefix{
+			Name: fmt.Sprintf("pfx%02d", i),
+			Dur:  LogNormalDuration{Mu: mu, Sigma: sigma},
+			PPS:  rng.Uniform(2, 12),
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+// Package trace generates the synthetic workloads that stand in for the
+// paper's CAIDA traces: populations of legitimate TCP flows with
+// heavy-tailed active durations toward a victim prefix, always-active
+// malicious flow pools, and a synthetic "top-20 prefixes" survey.
+//
+// The paper's theoretical model (§3.1) depends on the traffic only through
+// two quantities — tR, the average time a legitimate flow remains sampled
+// by Blink's flow selector, and qm, the malicious traffic fraction — so the
+// substitution is faithful exactly when those are matched, which the
+// calibration helpers here do.
+package trace
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"dui/internal/packet"
+	"dui/internal/stats"
+)
+
+// Event is one generated packet and its emission time.
+type Event struct {
+	Time float64
+	Pkt  *packet.Packet
+}
+
+// Stream produces packets in non-decreasing time order. Next reports
+// ok=false when the stream is exhausted.
+type Stream interface {
+	Next() (Event, bool)
+}
+
+// DurationDist samples flow active durations (seconds).
+type DurationDist interface {
+	Sample(r *stats.RNG) float64
+	Mean() float64
+	String() string
+}
+
+// ExpDuration is an exponential duration distribution.
+type ExpDuration struct{ MeanSec float64 }
+
+// Sample implements DurationDist.
+func (d ExpDuration) Sample(r *stats.RNG) float64 { return r.Exp(d.MeanSec) }
+
+// Mean implements DurationDist.
+func (d ExpDuration) Mean() float64 { return d.MeanSec }
+
+func (d ExpDuration) String() string { return fmt.Sprintf("exp(mean=%.3gs)", d.MeanSec) }
+
+// LogNormalDuration is a log-normal duration distribution (heavy-tailed,
+// the usual fit for Internet flow durations).
+type LogNormalDuration struct{ Mu, Sigma float64 }
+
+// Sample implements DurationDist.
+func (d LogNormalDuration) Sample(r *stats.RNG) float64 { return r.LogNormal(d.Mu, d.Sigma) }
+
+// Mean implements DurationDist: exp(mu + sigma^2/2).
+func (d LogNormalDuration) Mean() float64 {
+	return math.Exp(d.Mu + d.Sigma*d.Sigma/2)
+}
+
+func (d LogNormalDuration) String() string {
+	return fmt.Sprintf("lognormal(mu=%.3g,sigma=%.3g)", d.Mu, d.Sigma)
+}
+
+// ParetoDuration is a Pareto duration distribution with minimum Xm and
+// shape Alpha.
+type ParetoDuration struct{ Xm, Alpha float64 }
+
+// Sample implements DurationDist.
+func (d ParetoDuration) Sample(r *stats.RNG) float64 { return r.Pareto(d.Xm, d.Alpha) }
+
+// Mean implements DurationDist (infinite for Alpha <= 1, reported as such).
+func (d ParetoDuration) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.Alpha * d.Xm / (d.Alpha - 1)
+}
+
+func (d ParetoDuration) String() string {
+	return fmt.Sprintf("pareto(xm=%.3g,alpha=%.3g)", d.Xm, d.Alpha)
+}
+
+// merge implements Stream over multiple sub-streams in time order.
+type merge struct {
+	h mergeHeap
+}
+
+// Merge combines streams into one time-ordered stream.
+func Merge(streams ...Stream) Stream {
+	m := &merge{}
+	for _, s := range streams {
+		if ev, ok := s.Next(); ok {
+			m.h = append(m.h, mergeItem{ev: ev, src: s})
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+// Next implements Stream.
+func (m *merge) Next() (Event, bool) {
+	if len(m.h) == 0 {
+		return Event{}, false
+	}
+	it := m.h[0]
+	if ev, ok := it.src.Next(); ok {
+		m.h[0] = mergeItem{ev: ev, src: it.src}
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return it.ev, true
+}
+
+type mergeItem struct {
+	ev  Event
+	src Stream
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].ev.Time < h[j].ev.Time }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

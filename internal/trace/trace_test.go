@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"dui/internal/packet"
+	"dui/internal/stats"
+)
+
+var victim = packet.MustParsePrefix("10.9.0.0/24")
+
+func legitCfg(flows int, until float64) LegitConfig {
+	return LegitConfig{
+		Victim:  victim,
+		Flows:   flows,
+		Dur:     ExpDuration{MeanSec: 8.0},
+		PPS:     2,
+		Until:   until,
+		SrcBase: packet.MustParseAddr("20.0.0.0"),
+	}
+}
+
+func TestLegitStreamTimeOrderedAndBounded(t *testing.T) {
+	s := NewLegit(legitCfg(50, 30), stats.NewRNG(1))
+	last := -1.0
+	n := 0
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			break
+		}
+		if ev.Time < last {
+			t.Fatalf("stream not time-ordered: %v after %v", ev.Time, last)
+		}
+		if ev.Time > 30 {
+			t.Fatalf("event after Until: %v", ev.Time)
+		}
+		if !victim.Contains(ev.Pkt.Dst) {
+			t.Fatalf("packet to %v outside victim prefix", ev.Pkt.Dst)
+		}
+		last = ev.Time
+		n++
+	}
+	// 50 flows x 2 pps x 30 s = ~3000 packets.
+	if n < 2000 || n > 4000 {
+		t.Fatalf("generated %d packets, want ~3000", n)
+	}
+}
+
+func TestLegitStreamSeqAdvances(t *testing.T) {
+	// A single slow-renewal flow must show strictly increasing sequence
+	// numbers within a flow — no fake retransmissions from legit traffic.
+	cfg := legitCfg(5, 20)
+	s := NewLegit(cfg, stats.NewRNG(2))
+	lastSeq := map[packet.FlowKey]uint32{}
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			break
+		}
+		k := ev.Pkt.Flow()
+		if prev, seen := lastSeq[k]; seen && ev.Pkt.TCP.Seq <= prev {
+			t.Fatalf("legit flow %v repeated seq %d", k, ev.Pkt.TCP.Seq)
+		}
+		lastSeq[k] = ev.Pkt.TCP.Seq
+	}
+}
+
+func TestLegitRenewalKeepsPopulation(t *testing.T) {
+	// With mean duration 8 s over 100 s, each slot renews ~12 times, so
+	// distinct flow keys must far exceed the concurrent population.
+	s := NewLegit(legitCfg(20, 100), stats.NewRNG(3))
+	keys := map[packet.FlowKey]bool{}
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			break
+		}
+		keys[ev.Pkt.Flow()] = true
+	}
+	if len(keys) < 100 {
+		t.Fatalf("only %d distinct flows; renewal broken?", len(keys))
+	}
+}
+
+func TestMaliciousAlwaysActiveAndRetransmits(t *testing.T) {
+	cfg := MaliciousConfig{
+		Victim: victim, Flows: 10, PPS: 2, Until: 60,
+		SrcBase:        packet.MustParseAddr("30.0.0.0"),
+		RetransmitFrom: 30,
+	}
+	s := NewMalicious(cfg, stats.NewRNG(4))
+	seqsBefore := map[packet.FlowKey]map[uint32]int{}
+	dupAfter := 0
+	totalAfter := 0
+	lastPerFlow := map[packet.FlowKey]float64{}
+	maxGap := 0.0
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			break
+		}
+		k := ev.Pkt.Flow()
+		if prev, seen := lastPerFlow[k]; seen {
+			if g := ev.Time - prev; g > maxGap {
+				maxGap = g
+			}
+		}
+		lastPerFlow[k] = ev.Time
+		if ev.Time < 30 {
+			if seqsBefore[k] == nil {
+				seqsBefore[k] = map[uint32]int{}
+			}
+			seqsBefore[k][ev.Pkt.TCP.Seq]++
+		} else {
+			totalAfter++
+			if seqsBefore[k] != nil {
+				if _, dup := seqsBefore[k][ev.Pkt.TCP.Seq]; dup {
+					dupAfter++
+				}
+			}
+		}
+	}
+	// Before the trigger, per-flow seqs are unique.
+	for k, seqs := range seqsBefore {
+		for seq, n := range seqs {
+			if n > 1 {
+				t.Fatalf("flow %v repeated seq %d before trigger", k, seq)
+			}
+		}
+	}
+	// After the trigger, packets repeat the frozen sequence number.
+	if totalAfter == 0 || dupAfter < totalAfter*9/10 {
+		t.Fatalf("after trigger %d/%d duplicates", dupAfter, totalAfter)
+	}
+	// Flows stay active: with PPS=2, gaps beyond 2s (Blink's inactivity
+	// eviction) must be rare enough to never appear in this run.
+	if maxGap > 6 {
+		t.Fatalf("malicious flow idle for %.2fs", maxGap)
+	}
+}
+
+func TestMergeOrders(t *testing.T) {
+	rng := stats.NewRNG(5)
+	a := NewLegit(legitCfg(10, 10), rng.Child())
+	b := NewMalicious(MaliciousConfig{
+		Victim: victim, Flows: 5, PPS: 2, Until: 10,
+		SrcBase: packet.MustParseAddr("30.0.0.0"), RetransmitFrom: math.Inf(1),
+	}, rng.Child())
+	m := Merge(a, b)
+	last := -1.0
+	n := 0
+	for {
+		ev, ok := m.Next()
+		if !ok {
+			break
+		}
+		if ev.Time < last {
+			t.Fatal("merged stream out of order")
+		}
+		last = ev.Time
+		n++
+	}
+	if n < 200 {
+		t.Fatalf("merged only %d events", n)
+	}
+}
+
+func TestDurationDistMeans(t *testing.T) {
+	rng := stats.NewRNG(6)
+	for _, d := range []DurationDist{
+		ExpDuration{MeanSec: 8.37},
+		LogNormalDuration{Mu: 1.0, Sigma: 1.0},
+		ParetoDuration{Xm: 2, Alpha: 2.5},
+	} {
+		var s stats.Summary
+		for i := 0; i < 300000; i++ {
+			s.Add(d.Sample(rng))
+		}
+		if math.Abs(s.Mean()-d.Mean())/d.Mean() > 0.1 {
+			t.Fatalf("%v: sample mean %v vs analytic %v", d, s.Mean(), d.Mean())
+		}
+	}
+	if !math.IsInf(ParetoDuration{Xm: 1, Alpha: 0.9}.Mean(), 1) {
+		t.Fatal("heavy Pareto mean must be infinite")
+	}
+}
+
+func TestSyntheticSurveySpansRegime(t *testing.T) {
+	ps := SyntheticSurvey(20, stats.NewRNG(7))
+	if len(ps) != 20 {
+		t.Fatal("wrong count")
+	}
+	lo, hi := false, false
+	for _, p := range ps {
+		m := p.Dur.Mean()
+		if m < 0.3 || m > 60 {
+			t.Fatalf("prefix %s mean duration %v outside plausible range", p.Name, m)
+		}
+		if m < 4 {
+			lo = true
+		}
+		if m > 8 {
+			hi = true
+		}
+		if p.PPS < 2 || p.PPS > 12 {
+			t.Fatalf("pps %v out of range", p.PPS)
+		}
+	}
+	if !lo || !hi {
+		t.Fatal("survey does not span short and long duration prefixes")
+	}
+}
+
+func TestStreamsDeterministic(t *testing.T) {
+	collect := func(seed uint64) []float64 {
+		s := NewLegit(legitCfg(20, 20), stats.NewRNG(seed))
+		var ts []float64
+		for {
+			ev, ok := s.Next()
+			if !ok {
+				break
+			}
+			ts = append(ts, ev.Time)
+		}
+		return ts
+	}
+	a, b := collect(42), collect(42)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic stream")
+		}
+	}
+}
