@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check vet build test race bench report
+
+## check: the full gate — vet, build, race-enabled tests.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: the per-experiment and substrate benchmarks (minutes).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+## report: regenerate the full reproduction report on all cores.
+report:
+	$(GO) run ./cmd/duireport -parallel 0

@@ -34,6 +34,30 @@ func BenchmarkE1BlinkFig2(b *testing.B) {
 	b.ReportMetric(hit, "mean-hit-s")
 }
 
+// BenchmarkE1BlinkFig2Parallel compares the sequential and pooled Fig 2
+// drivers at a fixed reduced scale. The trial runner guarantees the
+// results are bit-identical at every worker count, so the sub-benchmarks
+// measure pure scheduling overhead/speedup. On a single-core box the
+// workers=4 variant degenerates to sequential plus pool overhead; on
+// 4+ cores it approaches a 4x wall-clock reduction (8 independent
+// trials, embarrassingly parallel).
+func BenchmarkE1BlinkFig2Parallel(b *testing.B) {
+	cfg := Fig2Config{Runs: 8, Duration: 150, LegitFlows: 500, Seed: 1, MeanFlowDuration: 6.35}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var cells float64
+			for i := 0; i < b.N; i++ {
+				c := cfg
+				c.Parallel = workers
+				res := RunFig2(c)
+				cells = res.SimMean.Values[len(res.SimMean.Values)-1]
+			}
+			b.ReportMetric(cells, "end-cells")
+		})
+	}
+}
+
 // BenchmarkE2PrefixSurvey regenerates the tR survey.
 func BenchmarkE2PrefixSurvey(b *testing.B) {
 	var med float64

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"dui"
+	"dui/internal/runner"
 	"dui/internal/stats"
 )
 
@@ -28,13 +29,26 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		meanDur  = flag.Float64("meandur", 0, "legit mean flow duration (0 = calibrate to tR)")
 		csv      = flag.Bool("csv", false, "emit plottable CSV instead of the summary")
+		parallel = flag.Int("parallel", 0, "trial workers (0 = all cores; results identical at any setting)")
+		progress = flag.Bool("progress", false, "report per-trial progress on stderr")
 	)
 	flag.Parse()
 
-	res := dui.RunFig2(dui.Fig2Config{
+	cfgIn := dui.Fig2Config{
 		Runs: *runs, Duration: *duration, TR: *tr, Qm: *qm,
 		LegitFlows: *flows, Seed: *seed, MeanFlowDuration: *meanDur,
-	})
+		Parallel: *parallel,
+	}
+	if *progress {
+		cfgIn.OnProgress = func(p runner.Progress) {
+			fmt.Fprintf(os.Stderr, "\rtrial %d/%d (%.1fs wall, %.0fs simulated)",
+				p.Done, p.Total, p.Elapsed.Seconds(), p.VirtualSeconds)
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	res := dui.RunFig2(cfgIn)
 
 	if *csv {
 		names := []string{"theory_mean", "theory_p5", "theory_p95", "sim_mean", "sim_p5", "sim_p95"}

@@ -26,6 +26,8 @@ func main() {
 		legit    = flag.Int("legitflows", 400, "legitimate flow population")
 		defended = flag.Bool("defended", false, "install the §5 RTO-plausibility supervisor")
 		legitRun = flag.Bool("legit", false, "run a genuine failure instead of the attack")
+		runs     = flag.Int("runs", 1, "independent seeded trials (>1 prints ensemble statistics)")
+		parallel = flag.Int("parallel", 0, "trial workers (0 = all cores; results identical at any setting)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,20 @@ func main() {
 		model := dui.NewRTOModel(clean.SRTTs, 0.2)
 		cfg.Hook = func(p *blink.Pipeline) { dui.GuardPipeline(p, model) }
 	}
+
+	if *runs > 1 {
+		ens := dui.SummarizeHijacks(dui.HijackTrials(cfg, *runs, *parallel))
+		fmt.Printf("§3.1 Blink traffic hijack — %d seeded trials (qm=%.2f, trigger at %.0fs, defended=%v)\n",
+			ens.Trials, float64(*mal)/float64(*legit), *trigger, *defended)
+		fmt.Printf("  attack succeeded (reroute onto attacker path): %d/%d trials\n", ens.Rerouted, ens.Trials)
+		fmt.Printf("  attacker-held cells at trigger: %.1f mean\n", ens.CellsMean)
+		if ens.Rerouted > 0 {
+			fmt.Printf("  reroute latency after the storm: mean %.2fs, p95 %.2fs\n", ens.LatencyMean, ens.LatencyP95)
+		}
+		fmt.Printf("  victim packets through the attacker across all trials: %d\n", ens.HijackedPackets)
+		return
+	}
+
 	res := dui.RunHijack(cfg)
 
 	fmt.Printf("§3.1 Blink traffic hijack (qm=%.2f, trigger at %.0fs, defended=%v)\n",

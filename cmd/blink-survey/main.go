@@ -17,14 +17,15 @@ import (
 
 func main() {
 	var (
-		n     = flag.Int("prefixes", 20, "number of synthetic prefixes")
-		flows = flag.Int("flows", 500, "concurrent flows per prefix workload")
-		seed  = flag.Uint64("seed", 1, "experiment seed")
+		n        = flag.Int("prefixes", 20, "number of synthetic prefixes")
+		flows    = flag.Int("flows", 500, "concurrent flows per prefix workload")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		parallel = flag.Int("parallel", 0, "trial workers (0 = all cores; results identical at any setting)")
 	)
 	flag.Parse()
 
 	prefixes := dui.SyntheticSurvey(*n, *seed)
-	rows := dui.RunSurvey(dui.BlinkConfig{}, prefixes, *flows, *seed+1)
+	rows := dui.RunSurveyN(dui.BlinkConfig{}, prefixes, *flows, *seed+1, *parallel)
 	sort.Slice(rows, func(i, j int) bool { return rows[i].TR < rows[j].TR })
 
 	fmt.Printf("§3.1 prefix survey — %d synthetic prefixes, Blink defaults (64 cells, 8.5 min reset)\n\n", *n)

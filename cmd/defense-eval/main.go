@@ -3,40 +3,65 @@
 // hijack, the Pytheas input-quality + outlier-filtering defense against
 // the botnet, and the PCC loss-correlation detector plus the ε-range
 // clamp against the equalizer.
+//
+// The three sections are independent; -parallel N evaluates them
+// concurrently on the trial runner (output order is unchanged).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"strings"
 
 	"dui"
 	"dui/internal/blink"
 	"dui/internal/pytheas"
+	"dui/internal/runner"
 )
 
 func main() {
-	var seed = flag.Uint64("seed", 1, "experiment seed")
+	var (
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		parallel = flag.Int("parallel", 0, "section workers (0 = all cores; output identical at any setting)")
+	)
 	flag.Parse()
 
 	fmt.Printf("§5 countermeasure evaluation\n")
 
-	// --- Blink: RTO-plausibility supervisor -------------------------
-	fmt.Printf("\n[Blink supervisor] model trained from passively measured RTTs\n")
+	sections := []func(seed uint64) string{blinkSection, pytheasSection, pccSection}
+	outputs, _ := runner.Map(context.Background(), sections, *seed, runner.Config{Workers: *parallel},
+		func(_ context.Context, t runner.Trial, section func(uint64) string) (string, error) {
+			return section(*seed), nil
+		})
+	for _, out := range outputs {
+		fmt.Print(out)
+	}
+}
+
+// blinkSection evaluates the RTO-plausibility supervisor.
+func blinkSection(seed uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n[Blink supervisor] model trained from passively measured RTTs\n")
 	clean := dui.RunFailover(dui.FailoverConfig{FailAt: 0, Duration: 20})
 	model := dui.NewRTOModel(clean.SRTTs, 0.2)
 	hook := func(p *blink.Pipeline) { dui.GuardPipeline(p, model) }
 
 	genuine := dui.RunFailover(dui.FailoverConfig{FailAt: 20, Duration: 45, Hook: hook})
-	fmt.Printf("  genuine failure:  rerouted=%v latency=%.2fs vetoes=%d recovered=%d/%d\n",
+	fmt.Fprintf(&b, "  genuine failure:  rerouted=%v latency=%.2fs vetoes=%d recovered=%d/%d\n",
 		genuine.Rerouted, genuine.DetectionLatency, genuine.VetoedReroutes,
 		genuine.RecoveredFlows, genuine.Config.Flows)
-	attack := dui.RunHijack(dui.HijackConfig{Seed: *seed, Hook: hook})
-	fmt.Printf("  hijack attempt:   rerouted=%v vetoes=%d hijacked packets=%d (attacker held %d cells)\n",
+	attack := dui.RunHijack(dui.HijackConfig{Seed: seed, Hook: hook})
+	fmt.Fprintf(&b, "  hijack attempt:   rerouted=%v vetoes=%d hijacked packets=%d (attacker held %d cells)\n",
 		attack.Rerouted, attack.VetoedReroutes, attack.HijackedPackets, attack.MaliciousCellsAtTrigger)
+	return b.String()
+}
 
-	// --- Pytheas: dedup + distribution filter -----------------------
-	fmt.Printf("\n[Pytheas defense] 15%% botnet with 5x report volume\n")
-	base := dui.PytheasConfig{Seed: *seed}
+// pytheasSection evaluates dedup + distribution filtering.
+func pytheasSection(seed uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n[Pytheas defense] 15%% botnet with 5x report volume\n")
+	base := dui.PytheasConfig{Seed: seed}
 	atk := pytheas.Poison{Bots: 150, ReportMultiplier: 5}.Defaults()
 	vuln := dui.RunPytheas(base, atk)
 	defended := base
@@ -44,22 +69,30 @@ func main() {
 	defended.DedupReports = true
 	prot := dui.RunPytheas(defended, atk)
 	noatk := dui.RunPytheas(base, nil)
-	fmt.Printf("  clean QoE %.2f | attacked (mean agg) %.2f | defended (dedup+MAD) %.2f\n",
+	fmt.Fprintf(&b, "  clean QoE %.2f | attacked (mean agg) %.2f | defended (dedup+MAD) %.2f\n",
 		noatk.HonestQoELate, vuln.HonestQoELate, prot.HonestQoELate)
 	// The detector view.
 	v := dui.GroupReportCheck(poisonedWindow(), 4)
-	fmt.Printf("  group-distribution detector on a poisoned window: %s\n", v)
+	fmt.Fprintf(&b, "  group-distribution detector on a poisoned window: %s\n", v)
+	return b.String()
+}
 
-	// --- PCC: detector + epsilon clamp ------------------------------
-	fmt.Printf("\n[PCC defense]\n")
-	cleanPCC := dui.RunOscillation(dui.OscConfig{Duration: 90, Seed: *seed})
-	attacked := dui.RunOscillation(dui.OscConfig{Duration: 90, Seed: *seed, Attack: true})
-	fmt.Printf("  loss-correlation detector: clean=%s\n", dui.PCCLossCorrelation(cleanPCC.Records))
-	fmt.Printf("                             attacked=%s\n", dui.PCCLossCorrelation(attacked.Records))
+// pccSection evaluates the detector + epsilon clamp.
+func pccSection(seed uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n[PCC defense]\n")
+	runs := dui.OscSweep([]dui.OscConfig{
+		{Duration: 90, Seed: seed},
+		{Duration: 90, Seed: seed, Attack: true},
+	}, 0)
+	cleanPCC, attacked := runs[0], runs[1]
+	fmt.Fprintf(&b, "  loss-correlation detector: clean=%s\n", dui.PCCLossCorrelation(cleanPCC.Records))
+	fmt.Fprintf(&b, "                             attacked=%s\n", dui.PCCLossCorrelation(attacked.Records))
 	for _, cap := range []float64{0.05, 0.03, 0.01} {
 		_, amp := dui.ForcedOscillation(0.01, cap, 20)
-		fmt.Printf("  ε clamp %.2f -> forced oscillation bounded to ±%.0f%%\n", cap, 100*amp/2)
+		fmt.Fprintf(&b, "  ε clamp %.2f -> forced oscillation bounded to ±%.0f%%\n", cap, 100*amp/2)
 	}
+	return b.String()
 }
 
 // poisonedWindow builds a representative contaminated report window for

@@ -16,7 +16,10 @@ import (
 )
 
 func main() {
-	var seed = flag.Uint64("seed", 1, "experiment seed")
+	var (
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		parallel = flag.Int("parallel", 0, "trial workers for the cap sweep (0 = all cores; results identical at any setting)")
+	)
 	flag.Parse()
 
 	topos := []struct {
@@ -35,12 +38,14 @@ func main() {
 		pairs := nethide.AllPairs(tc.g)
 		phys := nethide.ShortestPaths(tc.g, pairs)
 		_, physMax := phys.MaxDensity()
+		caps := make([]int, 0, 2)
 		for _, frac := range []float64{0.75, 0.5} {
-			cap := int(frac * float64(physMax))
-			virt, m := dui.Obfuscate(tc.g, pairs, dui.NetHideConfig{DensityCap: cap}, *seed)
-			atk := nethide.EvaluateAttack(phys, nethide.Survey(virt, pairs), 0)
+			caps = append(caps, int(frac*float64(physMax)))
+		}
+		for _, row := range nethide.SweepCaps(tc.g, pairs, caps, dui.NetHideConfig{}, *seed, *parallel) {
+			m := row.Metrics
 			fmt.Printf("%-9s %5d | %8d %8d | %8.3f %8.3f | %12.2f\n",
-				tc.name, cap, m.MaxDensityPhys, m.MaxDensityVirt, m.Accuracy, m.Utility, atk.Success)
+				tc.name, row.Cap, m.MaxDensityPhys, m.MaxDensityVirt, m.Accuracy, m.Utility, row.AttackSuccess)
 		}
 	}
 

@@ -70,6 +70,19 @@ func RunFig2(cfg Fig2Config) *Fig2Result { return blink.RunFig2(cfg) }
 // RunHijack runs the §3.1 traffic-hijack attack end to end.
 func RunHijack(cfg HijackConfig) *HijackResult { return blink.RunHijack(cfg) }
 
+// HijackTrials runs n independent hijack experiments in parallel
+// (workers = 0 means GOMAXPROCS) with per-trial seeds derived from
+// cfg.Seed; HijackEnsemble/SummarizeHijacks aggregate the outcomes.
+func HijackTrials(cfg HijackConfig, n, workers int) []*HijackResult {
+	return blink.HijackTrials(cfg, n, workers)
+}
+
+// HijackEnsemble summarizes a HijackTrials run.
+type HijackEnsemble = blink.HijackEnsemble
+
+// SummarizeHijacks aggregates hijack trials into ensemble statistics.
+func SummarizeHijacks(results []*HijackResult) HijackEnsemble { return blink.Summarize(results) }
+
 // RunFailover runs Blink's legitimate failure recovery.
 func RunFailover(cfg FailoverConfig) *FailoverResult { return blink.RunFailover(cfg) }
 
@@ -88,6 +101,12 @@ func SyntheticSurvey(n int, seed uint64) []trace.SurveyPrefix {
 // RunSurvey measures tR and required qm for each prefix workload.
 func RunSurvey(cfg BlinkConfig, prefixes []trace.SurveyPrefix, flows int, seed uint64) []blink.SurveyRow {
 	return blink.RunSurvey(cfg, prefixes, flows, seed)
+}
+
+// RunSurveyN is RunSurvey with an explicit parallel worker count
+// (0 = GOMAXPROCS); rows are identical at every worker count.
+func RunSurveyN(cfg BlinkConfig, prefixes []trace.SurveyPrefix, flows int, seed uint64, workers int) []blink.SurveyRow {
+	return blink.RunSurveyN(cfg, prefixes, flows, seed, workers)
 }
 
 // Pytheas (§4.1).
@@ -110,6 +129,12 @@ func PoisonSweep(cfg PytheasConfig, fractions []float64, multiplier int) []pythe
 	return pytheas.PoisonSweep(cfg, fractions, multiplier)
 }
 
+// PoisonSweepN is PoisonSweep with an explicit parallel worker count
+// (0 = GOMAXPROCS); rows are identical at every worker count.
+func PoisonSweepN(cfg PytheasConfig, fractions []float64, multiplier, workers int) []pytheas.PoisonRow {
+	return pytheas.PoisonSweepN(cfg, fractions, multiplier, workers)
+}
+
 // RunThrottle runs the CDN-stampede attack.
 func RunThrottle(cfg PytheasConfig, coverage, severity float64) *pytheas.ThrottleOutcome {
 	return pytheas.RunThrottle(cfg, coverage, severity)
@@ -125,6 +150,10 @@ type (
 
 // RunOscillation runs the E4 experiment (clean or attacked).
 func RunOscillation(cfg OscConfig) *OscResult { return pcc.RunOscillation(cfg) }
+
+// OscSweep runs several E4 configurations in parallel (workers = 0 means
+// GOMAXPROCS), returning results in configuration order.
+func OscSweep(cfgs []OscConfig, workers int) []*OscResult { return pcc.OscSweep(cfgs, workers) }
 
 // ForcedOscillation is the analytic ±5% oscillation model of §4.2.
 func ForcedOscillation(epsMin, epsMax float64, rounds int) ([]float64, float64) {

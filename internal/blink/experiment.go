@@ -1,9 +1,11 @@
 package blink
 
 import (
+	"context"
 	"math"
 
 	"dui/internal/packet"
+	"dui/internal/runner"
 	"dui/internal/stats"
 	"dui/internal/trace"
 )
@@ -86,6 +88,12 @@ type Fig2Config struct {
 	Seed       uint64
 	// MeanFlowDuration skips calibration when set (exponential mean).
 	MeanFlowDuration float64
+	// Parallel bounds the trial worker pool (0 = GOMAXPROCS). Results
+	// are bit-identical at every setting: each run draws from the stream
+	// stats.ChildAt(Seed, run), independent of scheduling.
+	Parallel int
+	// OnProgress, if set, observes trial completion (see runner.Config).
+	OnProgress func(runner.Progress)
 }
 
 // Defaults fills the paper's parameters.
@@ -177,18 +185,30 @@ func RunFig2(cfg Fig2Config) *Fig2Result {
 	res.TheoryHitP5 = model.HittingTimeQuantile(0.05)
 	res.TheoryHitP95 = model.HittingTimeQuantile(0.95)
 
-	base := stats.NewRNG(cfg.Seed)
+	// The runs are independent seeded trials: run k draws from
+	// stats.ChildAt(cfg.Seed, k), the same stream the historical
+	// sequential loop (base.Child() per run) produced, so results are
+	// bit-identical to a sequential run at any worker count.
+	type fig2Run struct {
+		series *stats.Series
+		hit    float64
+	}
+	runs, _ := runner.Run(context.Background(), cfg.Runs, cfg.Seed,
+		runner.Config{Workers: cfg.Parallel, OnProgress: cfg.OnProgress},
+		func(_ context.Context, t runner.Trial) (fig2Run, error) {
+			series := simulateOnce(cfg, res.MeanFlowDuration, stats.ChildAt(cfg.Seed, uint64(t.Index)))
+			out := fig2Run{series: series, hit: math.NaN()}
+			if ht, ok := series.FirstCrossing(float64(cfg.Blink.Threshold)); ok {
+				out.hit = ht
+			}
+			t.ReportVirtual(cfg.Duration)
+			return out, nil
+		})
 	var ens stats.Ensemble
-	for run := 0; run < cfg.Runs; run++ {
-		rng := base.Child()
-		series := simulateOnce(cfg, res.MeanFlowDuration, rng)
-		res.Runs = append(res.Runs, series)
-		ens.Add(series)
-		if t, ok := series.FirstCrossing(float64(cfg.Blink.Threshold)); ok {
-			res.HitTimes = append(res.HitTimes, t)
-		} else {
-			res.HitTimes = append(res.HitTimes, math.NaN())
-		}
+	for _, r := range runs {
+		res.Runs = append(res.Runs, r.series)
+		ens.Add(r.series)
+		res.HitTimes = append(res.HitTimes, r.hit)
 	}
 	res.SimMean = ens.Mean()
 	res.SimP5 = ens.Quantile(0.05)
@@ -253,20 +273,28 @@ type SurveyRow struct {
 // prefixes] the average time a flow remains sampled is 10 s; the median is
 // ~5 s") and its consequence: longer tR ⇒ higher required qm.
 func RunSurvey(cfg Config, prefixes []trace.SurveyPrefix, flows int, seed uint64) []SurveyRow {
+	return RunSurveyN(cfg, prefixes, flows, seed, 0)
+}
+
+// RunSurveyN is RunSurvey with an explicit trial worker count
+// (0 = GOMAXPROCS). Prefix k's workload draws from stats.ChildAt(seed, k)
+// — the stream the sequential loop used — so rows are identical at every
+// worker count.
+func RunSurveyN(cfg Config, prefixes []trace.SurveyPrefix, flows int, seed uint64, workers int) []SurveyRow {
 	cfg = cfg.Defaults()
-	base := stats.NewRNG(seed)
-	rows := make([]SurveyRow, 0, len(prefixes))
-	for _, p := range prefixes {
-		tr := MeasureTR(cfg, flows, p.Dur, p.PPS, 120, 20, base.Child())
-		model := Model{N: cfg.Cells, Threshold: cfg.Threshold, TR: tr, Qm: 0.0525}
-		rows = append(rows, SurveyRow{
-			Name:         p.Name,
-			MeanDuration: p.Dur.Mean(),
-			PPS:          p.PPS,
-			TR:           tr,
-			RequiredQm:   RequiredQm(cfg.Cells, cfg.Threshold, tr, cfg.ResetPeriod, 0.95),
-			HitAtPaperQm: model.ExpectedHittingTime(),
+	rows, _ := runner.Map(context.Background(), prefixes, seed, runner.Config{Workers: workers},
+		func(_ context.Context, t runner.Trial, p trace.SurveyPrefix) (SurveyRow, error) {
+			tr := MeasureTR(cfg, flows, p.Dur, p.PPS, 120, 20, stats.ChildAt(seed, uint64(t.Index)))
+			model := Model{N: cfg.Cells, Threshold: cfg.Threshold, TR: tr, Qm: 0.0525}
+			t.ReportVirtual(120)
+			return SurveyRow{
+				Name:         p.Name,
+				MeanDuration: p.Dur.Mean(),
+				PPS:          p.PPS,
+				TR:           tr,
+				RequiredQm:   RequiredQm(cfg.Cells, cfg.Threshold, tr, cfg.ResetPeriod, 0.95),
+				HitAtPaperQm: model.ExpectedHittingTime(),
+			}, nil
 		})
-	}
 	return rows
 }

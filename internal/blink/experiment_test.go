@@ -111,6 +111,82 @@ func TestFig2Deterministic(t *testing.T) {
 	}
 }
 
+// TestFig2ParallelMatchesSequential is the runner's determinism contract
+// applied to the real experiment: the same root seed must produce
+// byte-equal Fig2Result values whether the trials run on one worker or
+// several.
+func TestFig2ParallelMatchesSequential(t *testing.T) {
+	cfg := Fig2Config{LegitFlows: 120, Duration: 100, Runs: 6, Seed: 5, MeanFlowDuration: 6}
+	seq, par := cfg, cfg
+	seq.Parallel = 1
+	par.Parallel = 4
+	a, b := RunFig2(seq), RunFig2(par)
+
+	if a.MeanFlowDuration != b.MeanFlowDuration || a.MeasuredTR != b.MeasuredTR {
+		t.Fatalf("calibration differs: %v/%v vs %v/%v",
+			a.MeanFlowDuration, a.MeasuredTR, b.MeanFlowDuration, b.MeasuredTR)
+	}
+	if len(a.HitTimes) != len(b.HitTimes) {
+		t.Fatalf("hit-time counts differ: %d vs %d", len(a.HitTimes), len(b.HitTimes))
+	}
+	for i := range a.HitTimes {
+		x, y := a.HitTimes[i], b.HitTimes[i]
+		if x != y && !(math.IsNaN(x) && math.IsNaN(y)) {
+			t.Fatalf("hit time %d differs: %v vs %v", i, x, y)
+		}
+	}
+	series := func(r *Fig2Result) []*stats.Series {
+		out := []*stats.Series{r.TheoryMean, r.TheoryP5, r.TheoryP95, r.SimMean, r.SimP5, r.SimP95}
+		return append(out, r.Runs...)
+	}
+	sa, sb := series(a), series(b)
+	for si := range sa {
+		for i := range sa[si].Values {
+			if sa[si].Values[i] != sb[si].Values[i] {
+				t.Fatalf("series %d value %d differs: %v vs %v", si, i, sa[si].Values[i], sb[si].Values[i])
+			}
+		}
+	}
+}
+
+// TestSurveyParallelMatchesSequential pins the same property for the tR
+// prefix survey.
+func TestSurveyParallelMatchesSequential(t *testing.T) {
+	prefixes := trace.SyntheticSurvey(8, stats.NewRNG(3))
+	a := RunSurveyN(Config{}, prefixes, 150, 11, 1)
+	b := RunSurveyN(Config{}, prefixes, 150, 11, 4)
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestHijackTrialsDeterministicEnsemble checks the multi-seed E3 runner:
+// identical ensembles at different worker counts, and a sane summary.
+func TestHijackTrialsDeterministicEnsemble(t *testing.T) {
+	cfg := HijackConfig{LegitFlows: 150, MalFlows: 40, TriggerAt: 80, Duration: 100, Seed: 2}
+	a := HijackTrials(cfg, 3, 1)
+	b := HijackTrials(cfg, 3, 3)
+	for i := range a {
+		if a[i].Rerouted != b[i].Rerouted ||
+			a[i].MaliciousCellsAtTrigger != b[i].MaliciousCellsAtTrigger ||
+			a[i].HijackedPackets != b[i].HijackedPackets {
+			t.Fatalf("trial %d differs across worker counts: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	ens := Summarize(a)
+	if ens.Trials != 3 {
+		t.Fatalf("ensemble = %+v", ens)
+	}
+	if ens.CellsMean <= 0 {
+		t.Fatalf("no attacker cells recorded: %+v", ens)
+	}
+}
+
 func TestSurveyShape(t *testing.T) {
 	prefixes := trace.SyntheticSurvey(12, stats.NewRNG(5))
 	rows := RunSurvey(Config{}, prefixes, 300, 11)

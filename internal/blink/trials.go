@@ -1,0 +1,65 @@
+package blink
+
+import (
+	"context"
+	"math"
+
+	"dui/internal/runner"
+	"dui/internal/stats"
+)
+
+// HijackTrials runs n independent end-to-end hijack experiments on the
+// parallel trial runner (workers = 0 means GOMAXPROCS) and returns them
+// in trial order. Trial k runs with the SplitMix64-derived seed
+// runner.Seeds(cfg.Seed, n)[k], so the ensemble is reproducible and
+// identical at any worker count. Use it to turn the single-seed E3
+// anecdote into a distribution: how often the attack succeeds, and how
+// the reroute latency and the attacker's sample share vary across seeds.
+func HijackTrials(cfg HijackConfig, n, workers int) []*HijackResult {
+	cfg = cfg.Defaults()
+	results, _ := runner.Run(context.Background(), n, cfg.Seed, runner.Config{Workers: workers},
+		func(_ context.Context, t runner.Trial) (*HijackResult, error) {
+			c := cfg
+			c.Seed = t.Seed
+			res := RunHijack(c)
+			t.ReportVirtual(c.Duration)
+			return res, nil
+		})
+	return results
+}
+
+// HijackEnsemble summarizes a HijackTrials run.
+type HijackEnsemble struct {
+	Trials int
+	// Rerouted counts trials where the attack triggered the reroute.
+	Rerouted int
+	// Latency summarizes detection latency over the successful trials.
+	LatencyMean, LatencyP95 float64
+	// CellsMean is the mean attacker-held cell count at the trigger.
+	CellsMean float64
+	// HijackedPackets totals victim packets crossing the attacker router.
+	HijackedPackets uint64
+}
+
+// Summarize aggregates hijack trial results into ensemble statistics.
+func Summarize(results []*HijackResult) HijackEnsemble {
+	ens := HijackEnsemble{Trials: len(results)}
+	var lat []float64
+	var cells stats.Summary
+	for _, r := range results {
+		if r.Rerouted {
+			ens.Rerouted++
+			if !math.IsNaN(r.Latency) {
+				lat = append(lat, r.Latency)
+			}
+		}
+		cells.Add(float64(r.MaliciousCellsAtTrigger))
+		ens.HijackedPackets += r.HijackedPackets
+	}
+	ens.CellsMean = cells.Mean()
+	if len(lat) > 0 {
+		ens.LatencyMean = stats.Mean(lat)
+		ens.LatencyP95 = stats.Quantile(lat, 0.95)
+	}
+	return ens
+}

@@ -258,3 +258,26 @@ func TestSurveyRoundTrips(t *testing.T) {
 		t.Fatalf("survey of truth is not the truth: %+v", m)
 	}
 }
+
+// TestSweepCapsParallelMatchesSequential pins the runner's determinism
+// contract for the density-cap sweep and, under -race, doubles as proof
+// that concurrent obfuscation searches can share the graph read-only.
+func TestSweepCapsParallelMatchesSequential(t *testing.T) {
+	g := graph.Abilene()
+	pairs := AllPairs(g)
+	caps := []int{32, 30, 24, 20}
+	a := SweepCaps(g, pairs, caps, Config{}, 7, 1)
+	b := SweepCaps(g, pairs, caps, Config{}, 7, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cap %d differs: %+v vs %+v", caps[i], a[i], b[i])
+		}
+	}
+	// Tighter caps can only keep or lower the virtual hottest-link
+	// density the attacker sees.
+	for i := 1; i < len(a); i++ {
+		if a[i].Metrics.MaxDensityVirt > a[i-1].Metrics.MaxDensityVirt {
+			t.Fatalf("density not monotone under tighter caps: %+v then %+v", a[i-1], a[i])
+		}
+	}
+}

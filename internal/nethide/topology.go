@@ -139,12 +139,25 @@ type Metrics struct {
 	MaxDensityPhys, MaxDensityVirt int
 }
 
-// Evaluate computes the metrics of virt against phys.
+// Evaluate computes the metrics of virt against phys. Pairs are visited
+// in sorted order so the floating-point sums are bit-reproducible (map
+// iteration order would perturb the last bit from run to run).
 func Evaluate(phys, virt PathMap) Metrics {
 	var m Metrics
 	var accSum, utilSum float64
 	n := 0
-	for pair, p := range phys {
+	pairs := make([]Pair, 0, len(phys))
+	for pair := range phys {
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Src != pairs[j].Src {
+			return pairs[i].Src < pairs[j].Src
+		}
+		return pairs[i].Dst < pairs[j].Dst
+	})
+	for _, pair := range pairs {
+		p := phys[pair]
 		v, ok := virt[pair]
 		if !ok {
 			continue

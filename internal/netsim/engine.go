@@ -10,7 +10,10 @@
 // (float64 seconds); runs are bit-reproducible for a fixed seed.
 package netsim
 
-import "container/heap"
+import (
+	"container/heap"
+	"math"
+)
 
 // Engine is the discrete-event core: a virtual clock and an event queue.
 // Events at equal timestamps fire in scheduling order (stable FIFO), which
@@ -27,9 +30,13 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// At schedules fn at absolute time t. Scheduling in the past panics: it is
-// always a simulation bug.
+// At schedules fn at absolute time t. Scheduling in the past or at NaN
+// panics: both are always simulation bugs (a NaN timestamp would silently
+// corrupt the heap order, since NaN compares false against everything).
 func (e *Engine) At(t float64, fn func()) {
+	if math.IsNaN(t) {
+		panic("netsim: scheduling at NaN")
+	}
 	if t < e.now {
 		panic("netsim: scheduling into the past")
 	}
@@ -37,8 +44,13 @@ func (e *Engine) At(t float64, fn func()) {
 	heap.Push(&e.pq, &event{t: t, seq: e.seq, fn: fn})
 }
 
-// After schedules fn d seconds from now. Negative d panics.
-func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+// After schedules fn d seconds from now. Negative or NaN d panics.
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 || math.IsNaN(d) {
+		panic("netsim: After with negative or NaN delay")
+	}
+	e.At(e.now+d, fn)
+}
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.pq) }

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"math"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -86,6 +87,39 @@ func TestEnginePastSchedulingPanics(t *testing.T) {
 		}
 	}()
 	e.At(4, func() {})
+}
+
+func TestEngineAfterRejectsInvalidDelay(t *testing.T) {
+	for _, d := range []float64{-1, -1e-9, math.NaN()} {
+		d := d
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("After(%v) did not panic", d)
+				}
+			}()
+			NewEngine().After(d, func() {})
+		}()
+	}
+	// +Inf is a valid (if useless) future time; it must not panic and
+	// must not corrupt ordering of finite events.
+	e := NewEngine()
+	fired := false
+	e.After(math.Inf(1), func() {})
+	e.After(1, func() { fired = true })
+	e.RunUntil(2)
+	if !fired || e.Pending() != 1 {
+		t.Fatalf("fired=%v pending=%d", fired, e.Pending())
+	}
+}
+
+func TestEngineAtRejectsNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(NaN) did not panic")
+		}
+	}()
+	NewEngine().At(math.NaN(), func() {})
 }
 
 func TestEngineClockMonotoneProperty(t *testing.T) {

@@ -1,11 +1,13 @@
 package pcc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"dui/internal/netsim"
 	"dui/internal/packet"
+	"dui/internal/runner"
 	"dui/internal/stats"
 	"dui/internal/tcpflow"
 )
@@ -85,6 +87,21 @@ type OscResult struct {
 	DropFraction float64
 	// Records holds flow 0's monitor-interval history (supervisor input).
 	Records []MIRecord
+}
+
+// OscSweep runs several independent E4 configurations (clean vs
+// attacked, different utilities, fleet sizes …) on the parallel trial
+// runner and returns the results in configuration order. Each
+// configuration is fully seeded by its own Seed field, so the output is
+// identical at any worker count (0 = GOMAXPROCS).
+func OscSweep(cfgs []OscConfig, workers int) []*OscResult {
+	results, _ := runner.Map(context.Background(), cfgs, 0, runner.Config{Workers: workers},
+		func(_ context.Context, t runner.Trial, cfg OscConfig) (*OscResult, error) {
+			res := RunOscillation(cfg)
+			t.ReportVirtual(res.Config.Duration)
+			return res, nil
+		})
+	return results
 }
 
 // RunOscillation runs E4. Topology per flow i:

@@ -1,5 +1,11 @@
 package pytheas
 
+import (
+	"context"
+
+	"dui/internal/runner"
+)
+
 // PoisonRow is one point of the E5 poisoning sweep.
 type PoisonRow struct {
 	// BotFraction is the fraction of the group's sessions the attacker
@@ -16,20 +22,27 @@ type PoisonRow struct {
 // The defense ablation is expressed through cfg.E2.Aggregate (Mean is the
 // vulnerable default; Median/MADFiltered are the §5 countermeasure).
 func PoisonSweep(cfg SimConfig, fractions []float64, multiplier int) []PoisonRow {
+	return PoisonSweepN(cfg, fractions, multiplier, 0)
+}
+
+// PoisonSweepN is PoisonSweep with an explicit trial worker count
+// (0 = GOMAXPROCS). Each fraction is an independent group simulation
+// seeded by cfg.Seed alone, so rows are identical at any worker count.
+func PoisonSweepN(cfg SimConfig, fractions []float64, multiplier, workers int) []PoisonRow {
 	cfg = cfg.Defaults()
-	rows := make([]PoisonRow, 0, len(fractions))
-	for _, f := range fractions {
-		atk := Poison{
-			Bots:             int(f * float64(cfg.Sessions)),
-			ReportMultiplier: multiplier,
-		}.Defaults()
-		res := Run(cfg, atk)
-		rows = append(rows, PoisonRow{
-			BotFraction:   f,
-			HonestQoELate: res.HonestQoELate,
-			GoodShareLate: res.LateShare[0],
+	rows, _ := runner.Map(context.Background(), fractions, cfg.Seed, runner.Config{Workers: workers},
+		func(_ context.Context, t runner.Trial, f float64) (PoisonRow, error) {
+			atk := Poison{
+				Bots:             int(f * float64(cfg.Sessions)),
+				ReportMultiplier: multiplier,
+			}.Defaults()
+			res := Run(cfg, atk)
+			return PoisonRow{
+				BotFraction:   f,
+				HonestQoELate: res.HonestQoELate,
+				GoodShareLate: res.LateShare[0],
+			}, nil
 		})
-	}
 	return rows
 }
 

@@ -200,3 +200,26 @@ func TestRunDeterministic(t *testing.T) {
 		t.Fatal("nondeterministic simulation")
 	}
 }
+
+// TestPoisonSweepParallelMatchesSequential pins the runner's determinism
+// contract for the E5 sweep: identical rows at any worker count.
+func TestPoisonSweepParallelMatchesSequential(t *testing.T) {
+	cfg := SimConfig{Seed: 4, Sessions: 200, Epochs: 80}
+	fractions := []float64{0, 0.1, 0.2, 0.3}
+	a := PoisonSweepN(cfg, fractions, 5, 1)
+	b := PoisonSweepN(cfg, fractions, 5, 4)
+	if len(a) != len(b) {
+		t.Fatal("row counts differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// The sweep must keep fraction order, not completion order.
+	for i := range a {
+		if a[i].BotFraction != fractions[i] {
+			t.Fatalf("row %d out of order: %+v", i, a[i])
+		}
+	}
+}

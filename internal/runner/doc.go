@@ -1,0 +1,54 @@
+// Package runner executes independent seeded simulation trials on a
+// bounded worker pool. Every multi-run experiment in this repository —
+// the Fig 2 ensemble, the tR prefix survey, the Pytheas poisoning sweep,
+// the NetHide density-cap sweep — consists of trials that share no state
+// and draw all randomness from a per-trial seed, so they are
+// embarrassingly parallel; this package is the one place that turns that
+// property into wall-clock speedup without giving up reproducibility.
+//
+// # Determinism contract
+//
+// Run produces results that are bit-identical regardless of the worker
+// count, the scheduling order, or the machine's core count, provided the
+// trial function obeys one rule: all randomness must be derived from the
+// Trial it receives (its Seed, or its Index fed to a deterministic stream
+// constructor such as stats.ChildAt), never from shared mutable state,
+// the wall clock, or a global generator. Results are collected into a
+// slice indexed by trial number, so ordering is also independent of
+// completion order. A sequential run (Workers: 1) and a fully parallel
+// run of the same root seed are therefore byte-equal — the property
+// TestFig2ParallelMatchesSequential asserts for the Fig 2 experiment.
+//
+// # Seed derivation
+//
+// Per-trial seeds are expanded from the root seed with SplitMix64
+// (Steele et al., the standard seed-expansion PRNG, the same one
+// stats.RNG uses internally): seed_i is the i-th output of the SplitMix64
+// stream started at the root. The expansion is performed up front, before
+// any worker starts, so trial i's seed never depends on how many workers
+// exist or which trials ran first. Experiments that predate this package
+// and derived per-run streams via stats.RNG.Child keep their historical
+// outputs by calling stats.ChildAt(root, i) with the trial index instead
+// of using Trial.Seed; both derivations satisfy the contract.
+//
+// # Cancellation semantics
+//
+// Run honors context cancellation at two levels. Between trials, workers
+// stop claiming new indices as soon as ctx is done. Within a trial, the
+// function receives a context that is cancelled when the parent context
+// is cancelled or when another trial returns an error; long-running trial
+// functions should poll it. The first error (lowest trial index among
+// those that failed) cancels all outstanding work and is returned from
+// Run; if the parent context was cancelled first, Run returns ctx.Err().
+// Workers always exit before Run returns — no goroutines outlive the
+// call, which TestCancelDoesNotLeakGoroutines asserts.
+//
+// # Observability
+//
+// Config.OnProgress, if set, is invoked (serialized) after every
+// completed trial with the number of trials done, the total, the wall
+// time elapsed, and the accumulated virtual time that trials reported via
+// Trial.ReportVirtual — for an experiment driver this is the simulated
+// seconds per trial, so progress output can show the simulation speed
+// ratio (virtual seconds per wall second) alongside completion.
+package runner

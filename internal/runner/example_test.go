@@ -1,0 +1,35 @@
+package runner_test
+
+import (
+	"context"
+	"fmt"
+
+	"dui/internal/runner"
+	"dui/internal/stats"
+)
+
+// ExampleRun estimates a mean from eight independent seeded trials. The
+// trial function draws all randomness from a stream derived from the
+// trial's index, so the printed output is identical at any worker count.
+func ExampleRun() {
+	const root = 42
+	means, err := runner.Run(context.Background(), 8, root, runner.Config{Workers: 4},
+		func(_ context.Context, t runner.Trial) (float64, error) {
+			rng := stats.ChildAt(root, uint64(t.Index))
+			var s stats.Summary
+			for i := 0; i < 1000; i++ {
+				s.Add(rng.Exp(3.0)) // a stand-in for one simulation run
+			}
+			t.ReportVirtual(1000)
+			return s.Mean(), nil
+		})
+	if err != nil {
+		panic(err)
+	}
+	var all stats.Summary
+	for _, m := range means {
+		all.Add(m)
+	}
+	fmt.Printf("%d trials, grand mean %.2f\n", len(means), all.Mean())
+	// Output: 8 trials, grand mean 3.02
+}

@@ -1,0 +1,166 @@
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trial identifies one unit of work handed to a trial function: its index
+// in [0, n) and the seed derived for it from the root seed. The zero
+// Trial is valid for direct (non-pooled) calls in tests.
+type Trial struct {
+	// Index is the trial's position; results are collected at this index.
+	Index int
+	// Seed is the trial's SplitMix64-derived seed (see Seeds).
+	Seed uint64
+
+	tr *tracker
+}
+
+// ReportVirtual adds simulated virtual time (in seconds) to the run's
+// accumulated total, surfaced through Progress.VirtualSeconds. Safe to
+// call concurrently and on the zero Trial (no-op).
+func (t Trial) ReportVirtual(seconds float64) {
+	if t.tr != nil {
+		t.tr.addVirtual(seconds)
+	}
+}
+
+// Progress is a snapshot delivered to Config.OnProgress after each
+// completed trial.
+type Progress struct {
+	Done, Total int
+	// Elapsed is wall time since Run started.
+	Elapsed time.Duration
+	// VirtualSeconds accumulates what trials reported via ReportVirtual.
+	VirtualSeconds float64
+}
+
+// Config tunes a Run. The zero value uses GOMAXPROCS workers and no
+// progress reporting.
+type Config struct {
+	// Workers bounds pool size; <= 0 means runtime.GOMAXPROCS(0). The
+	// pool never exceeds the trial count.
+	Workers int
+	// OnProgress, if non-nil, is called after every completed trial.
+	// Calls are serialized; the callback must not block for long.
+	OnProgress func(Progress)
+}
+
+// Seeds expands a root seed into n per-trial seeds with SplitMix64.
+// Seed i depends only on (root, i), never on worker count or scheduling.
+func Seeds(root uint64, n int) []uint64 {
+	seeds := make([]uint64, n)
+	x := root
+	for i := range seeds {
+		seeds[i] = splitmix64(&x)
+	}
+	return seeds
+}
+
+// splitmix64 advances *x and returns the next SplitMix64 output
+// (Steele et al.; mirrors the seed expansion in internal/stats).
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Run executes n independent trials of fn on a bounded worker pool and
+// returns their results in trial-index order. See the package
+// documentation for the determinism and cancellation contracts. On error
+// or cancellation the returned slice holds only the trials that
+// completed; the rest are zero values.
+func Run[T any](ctx context.Context, n int, root uint64, cfg Config, fn func(ctx context.Context, t Trial) (T, error)) ([]T, error) {
+	results := make([]T, max(n, 0))
+	if n <= 0 {
+		return results, ctx.Err()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	seeds := Seeds(root, n)
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	tr := &tracker{start: time.Now(), total: n, onProgress: cfg.OnProgress}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				r, err := fn(ctx, Trial{Index: i, Seed: seeds[i], tr: tr})
+				if err != nil {
+					errs[i] = err
+					cancel() // stop the other workers
+					return
+				}
+				results[i] = r
+				tr.trialDone()
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, parent.Err()
+}
+
+// Map runs fn over items on the pool, returning outputs in item order.
+// It is Run with items[t.Index] pre-fetched for the trial function.
+func Map[In, Out any](ctx context.Context, items []In, root uint64, cfg Config, fn func(ctx context.Context, t Trial, item In) (Out, error)) ([]Out, error) {
+	return Run(ctx, len(items), root, cfg, func(ctx context.Context, t Trial) (Out, error) {
+		return fn(ctx, t, items[t.Index])
+	})
+}
+
+// tracker serializes progress accounting across workers.
+type tracker struct {
+	mu         sync.Mutex
+	start      time.Time
+	done       int
+	total      int
+	virtual    float64
+	onProgress func(Progress)
+}
+
+func (tr *tracker) addVirtual(seconds float64) {
+	tr.mu.Lock()
+	tr.virtual += seconds
+	tr.mu.Unlock()
+}
+
+// trialDone invokes the progress callback under the lock so snapshots
+// arrive strictly ordered by Done; the callback must not call back into
+// the tracker (Trial.ReportVirtual) or it would deadlock.
+func (tr *tracker) trialDone() {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.done++
+	if tr.onProgress != nil {
+		tr.onProgress(Progress{Done: tr.done, Total: tr.total, Elapsed: time.Since(tr.start), VirtualSeconds: tr.virtual})
+	}
+}

@@ -1,0 +1,194 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRunCollectsInIndexOrder(t *testing.T) {
+	out, err := Run(context.Background(), 20, 1, Config{Workers: 4},
+		func(_ context.Context, tr Trial) (int, error) { return tr.Index * 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*10 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestWorkerCountIndependence is the determinism contract: for a fixed
+// root seed, the result vector is bit-identical at every worker count.
+func TestWorkerCountIndependence(t *testing.T) {
+	run := func(workers int) []uint64 {
+		out, err := Run(context.Background(), 33, 42, Config{Workers: workers},
+			func(_ context.Context, tr Trial) (uint64, error) {
+				// A seed-dependent computation standing in for a simulation.
+				x := tr.Seed
+				for i := 0; i < 100; i++ {
+					x = x*6364136223846793005 + 1442695040888963407
+				}
+				return x, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, w := range []int{2, 3, 7, 16, 64} {
+		got := run(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: trial %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestSeedsDeterministicAndDistinct(t *testing.T) {
+	a, b := Seeds(7, 100), Seeds(7, 100)
+	seen := map[uint64]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Seeds not deterministic")
+		}
+		if seen[a[i]] {
+			t.Fatalf("duplicate seed at %d", i)
+		}
+		seen[a[i]] = true
+	}
+	// A prefix of a longer expansion matches a shorter one.
+	long := Seeds(7, 200)
+	for i := range a {
+		if long[i] != a[i] {
+			t.Fatal("Seeds not a stream prefix")
+		}
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(context.Background(), 50, 1, Config{Workers: 4},
+		func(ctx context.Context, tr Trial) (int, error) {
+			if tr.Index == 3 {
+				return 0, boom
+			}
+			return tr.Index, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunHonorsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	started := 0
+	_, err := Run(ctx, 10, 1, Config{Workers: 2},
+		func(_ context.Context, tr Trial) (int, error) { started++; return 0, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if started != 0 {
+		t.Fatalf("%d trials ran under a cancelled context", started)
+	}
+}
+
+// TestCancelDoesNotLeakGoroutines blocks every trial on ctx.Done() and
+// asserts that after cancellation Run returns with no worker goroutines
+// left behind.
+func TestCancelDoesNotLeakGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := Run(ctx, 16, 1, Config{Workers: 8},
+		func(ctx context.Context, tr Trial) (int, error) {
+			<-ctx.Done() // block until cancelled
+			return 0, ctx.Err()
+		})
+	if err == nil {
+		t.Fatal("expected an error from the cancelled run")
+	}
+	// Workers exit before Run returns; allow the canceller goroutine and
+	// runtime bookkeeping a moment to settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+func TestProgressAndVirtualTime(t *testing.T) {
+	var snaps []Progress
+	out, err := Run(context.Background(), 8, 1, Config{
+		Workers:    3,
+		OnProgress: func(p Progress) { snaps = append(snaps, p) },
+	}, func(_ context.Context, tr Trial) (int, error) {
+		tr.ReportVirtual(500)
+		return tr.Index, nil
+	})
+	if err != nil || len(out) != 8 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	if len(snaps) != 8 {
+		t.Fatalf("progress callbacks = %d, want 8", len(snaps))
+	}
+	for i, p := range snaps {
+		if p.Done != i+1 || p.Total != 8 {
+			t.Fatalf("snap %d = %+v", i, p)
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.VirtualSeconds != 8*500 {
+		t.Fatalf("virtual seconds = %v", last.VirtualSeconds)
+	}
+}
+
+func TestMapPreservesItemOrder(t *testing.T) {
+	items := []string{"a", "bb", "ccc", "dddd", "eeeee"}
+	out, err := Map(context.Background(), items, 1, Config{Workers: 2},
+		func(_ context.Context, tr Trial, s string) (int, error) { return len(s), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != len(items[i]) {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRunZeroTrials(t *testing.T) {
+	out, err := Run(context.Background(), 0, 1, Config{},
+		func(_ context.Context, tr Trial) (int, error) { return 1, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestZeroTrialReportVirtualIsNoop(t *testing.T) {
+	var tr Trial
+	tr.ReportVirtual(1) // must not panic
+}
+
+func BenchmarkRunOverhead(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = Run(context.Background(), 64, 1, Config{Workers: workers},
+					func(_ context.Context, tr Trial) (uint64, error) { return tr.Seed, nil })
+			}
+		})
+	}
+}

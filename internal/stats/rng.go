@@ -48,8 +48,17 @@ func splitmix64(x *uint64) uint64 {
 // run regardless of how much randomness the parent consumed in between.
 func (r *RNG) Child() *RNG {
 	r.childs++
-	s := r.hi ^ (0x9e3779b97f4a7c15 * r.childs)
-	mix := s
+	return ChildAt(r.hi, r.childs-1)
+}
+
+// ChildAt returns the k-th child stream (0-based) of the given seed
+// material without constructing or advancing a parent: ChildAt(seed, k)
+// equals the (k+1)-th Child() of NewRNG(seed). Parallel trial executors
+// use it to hand trial k exactly the stream a sequential loop of Child
+// calls would have produced, so parallel and sequential runs are
+// bit-identical (see internal/runner).
+func ChildAt(seed uint64, k uint64) *RNG {
+	mix := seed ^ (0x9e3779b97f4a7c15 * (k + 1))
 	a := splitmix64(&mix)
 	b := splitmix64(&mix)
 	c := &RNG{hi: a, lo: b}

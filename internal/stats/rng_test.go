@@ -43,6 +43,36 @@ func TestChildStreamsIndependentOfParentConsumption(t *testing.T) {
 	}
 }
 
+// TestChildAtMatchesChildSequence pins the equivalence parallel trial
+// execution relies on: ChildAt(seed, k) is exactly the (k+1)-th Child()
+// of NewRNG(seed), so a worker can reconstruct trial k's stream without
+// deriving the k-1 streams before it.
+func TestChildAtMatchesChildSequence(t *testing.T) {
+	p := NewRNG(42)
+	for k := uint64(0); k < 20; k++ {
+		seq := p.Child()
+		direct := ChildAt(42, k)
+		for i := 0; i < 50; i++ {
+			if seq.Uint64() != direct.Uint64() {
+				t.Fatalf("ChildAt(42, %d) diverges from Child sequence at draw %d", k, i)
+			}
+		}
+	}
+}
+
+// TestChildAtGrandchildren checks the equivalence holds one level down:
+// children of a child RNG match ChildAt on the child's seed material.
+func TestChildAtGrandchildren(t *testing.T) {
+	child := ChildAt(7, 3)
+	g1 := child.Child()
+	g2 := ChildAt(child.hi, 0)
+	for i := 0; i < 50; i++ {
+		if g1.Uint64() != g2.Uint64() {
+			t.Fatalf("grandchild streams diverge at draw %d", i)
+		}
+	}
+}
+
 func TestChildStreamsDistinct(t *testing.T) {
 	p := NewRNG(7)
 	c1, c2 := p.Child(), p.Child()
