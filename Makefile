@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench report
+.PHONY: check vet build test race bench bench-smoke report
 
 ## check: the full gate — vet, build, race-enabled tests.
 check: vet build race
@@ -17,9 +17,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench: the per-experiment and substrate benchmarks (minutes).
+## bench: the per-experiment and substrate benchmarks (minutes); refreshes
+## BENCH_2.json, the repo's benchmark-trajectory file.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench=. -benchmem -count=1 -timeout 60m . | $(GO) run ./cmd/benchjson -o BENCH_2.json
+
+## bench-smoke: the fast substrate subset CI runs on every push.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=Substrate -benchtime=100x -benchmem .
 
 ## report: regenerate the full reproduction report on all cores.
 report:

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"dui"
+	"dui/internal/prof"
 	"dui/internal/runner"
 	"dui/internal/stats"
 )
@@ -33,6 +34,7 @@ func main() {
 		progress = flag.Bool("progress", false, "report per-trial progress on stderr")
 	)
 	flag.Parse()
+	defer prof.Start()()
 
 	cfgIn := dui.Fig2Config{
 		Runs: *runs, Duration: *duration, TR: *tr, Qm: *qm,
@@ -97,7 +99,6 @@ func main() {
 		capturable(cfg))
 	fmt.Printf("\npaper: \"on average, it takes 172 s until the sample contains enough (i.e., 32) malicious flows\";\n")
 	fmt.Printf("       simulations cross ~200 s. See EXPERIMENTS.md for the comparison discussion.\n")
-	os.Exit(0)
 }
 
 func capturable(cfg dui.Fig2Config) float64 {

@@ -22,6 +22,7 @@ import (
 	"dui/internal/blink"
 	"dui/internal/conntrack"
 	"dui/internal/nethide"
+	"dui/internal/prof"
 	"dui/internal/pytheas"
 	"dui/internal/runner"
 	"dui/internal/sketch"
@@ -35,6 +36,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "workers for sections and trials (0 = all cores; report identical at any setting)")
 	)
 	flag.Parse()
+	defer prof.Start()()
 
 	fmt.Printf("# Reproduction report (seed %d, quick=%v)\n", *seed, *quick)
 

@@ -1,0 +1,70 @@
+//go:build !race
+
+// Allocation guards: regressions in the zero-allocation hot paths fail
+// `go test`, not just benchmarks. Excluded under -race, whose
+// instrumentation changes inlining and allocation behavior.
+
+package blink
+
+import (
+	"testing"
+
+	"dui/internal/packet"
+)
+
+// TestMonitorFeedZeroAllocs pins 0 allocs/op for Monitor.Feed on a warm
+// selector: hashing, sampling, eviction, sequence tracking, and the
+// incremental retransmission count must all run without touching the heap.
+func TestMonitorFeedZeroAllocs(t *testing.T) {
+	m := NewMonitor(Config{})
+	pkts := make([]*packet.Packet, 256)
+	for i := range pkts {
+		pkts[i] = packet.NewTCP(packet.Addr(i+1), Victim.Nth(1), packet.TCPHeader{
+			SrcPort: uint16(1000 + i), DstPort: 443, Flags: packet.FlagACK,
+		}, 1500)
+	}
+	now := 0.0
+	i := 0
+	feed := func() {
+		p := pkts[i%len(pkts)]
+		p.TCP.Seq += 1460 // advancing data; exercises seq tracking, no failures
+		now += 0.005
+		m.Feed(now, p)
+		i++
+	}
+	// Warm: fill cells, trip the first sample resets and evictions.
+	for k := 0; k < 8192; k++ {
+		feed()
+	}
+	if avg := testing.AllocsPerRun(10000, feed); avg != 0 {
+		t.Fatalf("Monitor.Feed allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestMonitorFeedZeroAllocsDuringStorm pins the same guarantee during a
+// retransmission storm — every packet repeats its flow's sequence number —
+// which is exactly the regime the incremental inference count exists for.
+func TestMonitorFeedZeroAllocsDuringStorm(t *testing.T) {
+	m := NewMonitor(Config{})
+	// Leave inference armed but unreachable: no failure-slice append.
+	m.cfg.Threshold = m.cfg.Cells + 1
+	pkts := make([]*packet.Packet, 256)
+	for i := range pkts {
+		pkts[i] = packet.NewTCP(packet.Addr(i+1), Victim.Nth(1), packet.TCPHeader{
+			SrcPort: uint16(1000 + i), DstPort: 443, Seq: 7300, Flags: packet.FlagACK,
+		}, 1500)
+	}
+	now := 0.0
+	i := 0
+	feed := func() {
+		m.Feed(now, pkts[i%len(pkts)]) // constant seq: every data packet is a retransmit
+		now += 0.005
+		i++
+	}
+	for k := 0; k < 8192; k++ {
+		feed()
+	}
+	if avg := testing.AllocsPerRun(10000, feed); avg != 0 {
+		t.Fatalf("Monitor.Feed (storm) allocates %.1f objects/op, want 0", avg)
+	}
+}

@@ -30,8 +30,12 @@ func PlayStream(nw *netsim.Network, from *netsim.Node, st trace.Stream) {
 		if !ok {
 			return
 		}
+		// The network retains packets (link queues, MitM taps, delayed
+		// delivery) past the stream's next Next(), so take ownership of a
+		// copy — the Stream packet-lifetime rule.
+		pkt := ev.Pkt.Clone()
 		nw.Engine().At(ev.Time, func() {
-			from.Send(ev.Pkt)
+			from.Send(pkt)
 			pump()
 		})
 	}

@@ -20,6 +20,8 @@
 package blink
 
 import (
+	"math"
+
 	"dui/internal/packet"
 )
 
@@ -74,6 +76,7 @@ type Cell struct {
 	Finished   bool    // saw FIN or RST
 	LastRetr   float64 // time of the most recent retransmission
 	hasRetr    bool
+	counted    bool    // included in the monitor's in-window retrans count
 	prevPktGap float64 // gap between the retransmission and previous packet
 }
 
@@ -110,6 +113,16 @@ type Monitor struct {
 
 	nextReset float64
 	armed     bool
+
+	// Incremental failure inference: retrCount tracks how many cells have
+	// a retransmission inside the sliding window, so a retransmission
+	// storm costs O(1) per packet instead of a scan of all cells.
+	// minLastRetr is a conservative lower bound (never above the true
+	// minimum) on LastRetr over counted cells; while now-minLastRetr is
+	// within the window, no counted cell can have expired, so the count is
+	// exact without rescanning.
+	retrCount   int
+	minLastRetr float64
 
 	onFailure func(now float64)
 	onRetrans func(RetransEvent)
@@ -207,7 +220,7 @@ func (m *Monitor) update(c *Cell, idx int, p *packet.Packet, now float64) {
 		if m.onRetrans != nil {
 			m.onRetrans(RetransEvent{Now: now, Key: c.Key, Cell: idx, Gap: gap})
 		}
-		m.infer(now)
+		m.noteRetrans(c, now)
 	} else if isData {
 		c.LastSeq = p.TCP.Seq
 		c.seqValid = true
@@ -218,20 +231,26 @@ func (m *Monitor) update(c *Cell, idx int, p *packet.Packet, now float64) {
 	c.LastSeen = now
 }
 
-// infer counts flows with a retransmission inside the sliding window and
-// fires failure inference at the threshold.
-func (m *Monitor) infer(now float64) {
-	if !m.armed {
-		return
+// noteRetrans maintains the incremental in-window retransmission count for
+// the cell that just retransmitted (c.LastRetr == now) and fires failure
+// inference at the threshold. The count equals exactly what a full scan
+// (Occupied && hasRetr && now-LastRetr <= Window) would report: monitors
+// are fed in non-decreasing time order, so between recounts a counted
+// cell's window test cannot flip false while now-minLastRetr <= Window
+// (IEEE subtraction is monotone), and an uncounted cell's test cannot flip
+// true without the cell passing through noteRetrans.
+func (m *Monitor) noteRetrans(c *Cell, now float64) {
+	if m.retrCount > 0 && now-m.minLastRetr > m.cfg.Window {
+		m.recount(now)
 	}
-	n := 0
-	for i := range m.cells {
-		c := &m.cells[i]
-		if c.Occupied && c.hasRetr && now-c.LastRetr <= m.cfg.Window {
-			n++
+	if !c.counted {
+		c.counted = true
+		m.retrCount++
+		if m.retrCount == 1 || now < m.minLastRetr {
+			m.minLastRetr = now
 		}
 	}
-	if n >= m.cfg.Threshold {
+	if m.armed && m.retrCount >= m.cfg.Threshold {
 		m.armed = false // one inference per sample epoch
 		m.failures = append(m.failures, now)
 		if m.onFailure != nil {
@@ -240,9 +259,32 @@ func (m *Monitor) infer(now float64) {
 	}
 }
 
+// recount rebuilds the incremental count by scanning all cells — the slow
+// path, taken only when the earliest counted retransmission may have left
+// the window, not on every retransmission of a storm.
+func (m *Monitor) recount(now float64) {
+	m.retrCount = 0
+	m.minLastRetr = math.Inf(1)
+	for i := range m.cells {
+		c := &m.cells[i]
+		if c.Occupied && c.hasRetr && now-c.LastRetr <= m.cfg.Window {
+			c.counted = true
+			m.retrCount++
+			if c.LastRetr < m.minLastRetr {
+				m.minLastRetr = c.LastRetr
+			}
+		} else {
+			c.counted = false
+		}
+	}
+}
+
 func (m *Monitor) evict(c *Cell, now float64, reset bool) {
 	if m.onEvict != nil && c.Occupied {
 		m.onEvict(Eviction{Now: now, Key: c.Key, Residence: now - c.SampledAt, Reset: reset})
+	}
+	if c.counted {
+		m.retrCount--
 	}
 	*c = Cell{}
 }

@@ -1,0 +1,29 @@
+//go:build !race
+
+// Allocation guards: regressions in the zero-allocation hot paths fail
+// `go test`, not just benchmarks. Excluded under -race, whose
+// instrumentation changes inlining and allocation behavior.
+
+package netsim
+
+import "testing"
+
+// TestEngineSteadyStateAllocs pins 0 allocs/op for the schedule-then-run
+// cycle once the event heap's backing array has grown: pushing a value
+// event reuses the array, popping shrinks it in place.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the heap's capacity well past the steady-state population.
+	for i := 0; i < 1024; i++ {
+		e.After(float64(i)*1e-3, fn)
+	}
+	e.RunUntil(10)
+
+	if avg := testing.AllocsPerRun(2000, func() {
+		e.After(0.5, fn)
+		e.RunUntil(e.Now() + 1)
+	}); avg != 0 {
+		t.Fatalf("Engine.After+RunUntil allocates %.1f objects/op, want 0", avg)
+	}
+}

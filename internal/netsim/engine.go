@@ -10,18 +10,20 @@
 // (float64 seconds); runs are bit-reproducible for a fixed seed.
 package netsim
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
 // Engine is the discrete-event core: a virtual clock and an event queue.
 // Events at equal timestamps fire in scheduling order (stable FIFO), which
 // keeps runs deterministic.
+//
+// The queue is a value-typed 4-ary min-heap over event structs rather than
+// container/heap over *event: scheduling allocates nothing in steady state
+// (the backing array is reused across push/pop), and the (t, seq) key is a
+// total order, so the execution order is independent of heap shape.
 type Engine struct {
 	now float64
 	seq uint64
-	pq  eventHeap
+	pq  []event
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -41,7 +43,7 @@ func (e *Engine) At(t float64, fn func()) {
 		panic("netsim: scheduling into the past")
 	}
 	e.seq++
-	heap.Push(&e.pq, &event{t: t, seq: e.seq, fn: fn})
+	e.push(event{t: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn d seconds from now. Negative or NaN d panics.
@@ -61,7 +63,7 @@ func (e *Engine) Pending() int { return len(e.pq) }
 func (e *Engine) RunUntil(t float64) int {
 	n := 0
 	for len(e.pq) > 0 && e.pq[0].t <= t {
-		ev := heap.Pop(&e.pq).(*event)
+		ev := e.pop()
 		e.now = ev.t
 		ev.fn()
 		n++
@@ -77,7 +79,7 @@ func (e *Engine) RunUntil(t float64) int {
 func (e *Engine) Run() int {
 	n := 0
 	for len(e.pq) > 0 {
-		ev := heap.Pop(&e.pq).(*event)
+		ev := e.pop()
 		e.now = ev.t
 		ev.fn()
 		n++
@@ -91,22 +93,66 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// less orders by time, then by scheduling sequence — a total order, so any
+// valid heap pops events in exactly one sequence.
+func (a event) less(b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// push appends ev and sifts it up the 4-ary heap.
+func (e *Engine) push(ev event) {
+	e.pq = append(e.pq, ev)
+	i := len(e.pq) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.pq[i].less(e.pq[p]) {
+			break
+		}
+		e.pq[i], e.pq[p] = e.pq[p], e.pq[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum event.
+func (e *Engine) pop() event {
+	top := e.pq[0]
+	n := len(e.pq) - 1
+	e.pq[0] = e.pq[n]
+	e.pq[n] = event{} // drop the fn reference so the closure can be collected
+	e.pq = e.pq[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+// siftDown restores heap order below index i. A 4-ary layout halves the
+// tree depth of the binary heap and keeps the four children of a node in
+// one or two cache lines of the 24-byte events.
+func (e *Engine) siftDown(i int) {
+	n := len(e.pq)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			return
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if e.pq[j].less(e.pq[best]) {
+				best = j
+			}
+		}
+		if !e.pq[best].less(e.pq[i]) {
+			return
+		}
+		e.pq[i], e.pq[best] = e.pq[best], e.pq[i]
+		i = best
+	}
 }

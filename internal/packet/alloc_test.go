@@ -1,0 +1,20 @@
+//go:build !race
+
+// Allocation guards: regressions in the zero-allocation hot paths fail
+// `go test`, not just benchmarks. Excluded under -race, whose
+// instrumentation changes inlining and allocation behavior.
+
+package packet
+
+import "testing"
+
+var hashSink uint64
+
+func TestFastHashZeroAllocs(t *testing.T) {
+	k := FlowKey{Src: 0x14000001, Dst: 0x0a090001, SrcPort: 1234, DstPort: 443, Proto: ProtoTCP}
+	if avg := testing.AllocsPerRun(1000, func() {
+		hashSink = k.FastHash()
+	}); avg != 0 {
+		t.Fatalf("FlowKey.FastHash allocates %.1f objects/op, want 0", avg)
+	}
+}

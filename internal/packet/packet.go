@@ -1,9 +1,6 @@
 package packet
 
-import (
-	"fmt"
-	"hash/fnv"
-)
+import "fmt"
 
 // Proto identifies the transport protocol, with the standard IP protocol
 // numbers.
@@ -156,22 +153,40 @@ func (k FlowKey) Reverse() FlowKey {
 	}
 }
 
+// FNV-1a 64-bit parameters (FIPS-less classic FNV, as in hash/fnv).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
 // FastHash returns a 64-bit hash of the 5-tuple: FNV-1a over the header
 // bytes followed by a murmur-style avalanche finalizer (raw FNV's low bits
 // correlate under structured inputs, and data planes index small cell
 // arrays with exactly those bits). It is *not* symmetric: A→B and B→A hash
 // differently, which matches Blink's data-plane hash of the packet's own
 // header fields.
+//
+// The FNV-1a loop is unrolled as straight-line arithmetic over the 13
+// big-endian header bytes — no fnv.New64a() allocation, no hash.Hash64
+// interface dispatch — and produces bit-identical values to feeding the
+// same bytes through hash/fnv (TestFastHashMatchesReference pins this, so
+// the optimization can never silently move flows between cells).
 func (k FlowKey) FastHash() uint64 {
-	h := fnv.New64a()
-	var buf [13]byte
-	be32(buf[0:], uint32(k.Src))
-	be32(buf[4:], uint32(k.Dst))
-	be16(buf[8:], k.SrcPort)
-	be16(buf[10:], k.DstPort)
-	buf[12] = byte(k.Proto)
-	h.Write(buf[:])
-	return fmix64(h.Sum64())
+	h := fnvOffset64
+	h = (h ^ uint64(byte(k.Src>>24))) * fnvPrime64
+	h = (h ^ uint64(byte(k.Src>>16))) * fnvPrime64
+	h = (h ^ uint64(byte(k.Src>>8))) * fnvPrime64
+	h = (h ^ uint64(byte(k.Src))) * fnvPrime64
+	h = (h ^ uint64(byte(k.Dst>>24))) * fnvPrime64
+	h = (h ^ uint64(byte(k.Dst>>16))) * fnvPrime64
+	h = (h ^ uint64(byte(k.Dst>>8))) * fnvPrime64
+	h = (h ^ uint64(byte(k.Dst))) * fnvPrime64
+	h = (h ^ uint64(byte(k.SrcPort>>8))) * fnvPrime64
+	h = (h ^ uint64(byte(k.SrcPort))) * fnvPrime64
+	h = (h ^ uint64(byte(k.DstPort>>8))) * fnvPrime64
+	h = (h ^ uint64(byte(k.DstPort))) * fnvPrime64
+	h = (h ^ uint64(byte(k.Proto))) * fnvPrime64
+	return fmix64(h)
 }
 
 // fmix64 is the 64-bit finalizer from MurmurHash3: a full-avalanche

@@ -1,0 +1,69 @@
+//go:build !race
+
+// Allocation guards: regressions in the zero-allocation hot paths fail
+// `go test`, not just benchmarks. Excluded under -race, whose
+// instrumentation changes inlining and allocation behavior.
+
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"dui/internal/packet"
+	"dui/internal/stats"
+)
+
+// TestStreamNextZeroAllocs pins 0 allocs/op for the generators in steady
+// state: the value-typed flow heaps and the stream-owned scratch packets
+// mean emitting (and renewing) flows never touches the heap.
+func TestStreamNextZeroAllocs(t *testing.T) {
+	legit := NewLegit(LegitConfig{
+		Victim: victim, Flows: 200, Dur: ExpDuration{MeanSec: 6},
+		PPS: 2, Until: math.Inf(1), SrcBase: packet.MustParseAddr("20.0.0.0"),
+	}, stats.NewRNG(1))
+	mal := NewMalicious(MaliciousConfig{
+		Victim: victim, Flows: 50, PPS: 2, Until: math.Inf(1),
+		SrcBase: packet.MustParseAddr("30.0.0.0"), RetransmitFrom: 30,
+	}, stats.NewRNG(2))
+	merged := Merge(
+		NewLegit(LegitConfig{
+			Victim: victim, Flows: 100, Dur: ExpDuration{MeanSec: 6},
+			PPS: 2, Until: math.Inf(1), SrcBase: packet.MustParseAddr("21.0.0.0"),
+		}, stats.NewRNG(3)),
+		NewMalicious(MaliciousConfig{
+			Victim: victim, Flows: 25, PPS: 2, Until: math.Inf(1),
+			SrcBase: packet.MustParseAddr("31.0.0.0"), RetransmitFrom: math.Inf(1),
+		}, stats.NewRNG(4)),
+	)
+	for name, st := range map[string]Stream{"legit": legit, "malicious": mal, "merge": merged} {
+		// Warm past initial desynchronization and first renewals.
+		for i := 0; i < 5000; i++ {
+			st.Next()
+		}
+		if avg := testing.AllocsPerRun(5000, func() {
+			st.Next()
+		}); avg != 0 {
+			t.Fatalf("%s Stream.Next allocates %.1f objects/op, want 0", name, avg)
+		}
+	}
+}
+
+// TestStreamScratchPacketLifetime documents (and pins) the packet-lifetime
+// rule: the Event.Pkt from one Next is reused by the following Next, and a
+// Clone taken before that survives.
+func TestStreamScratchPacketLifetime(t *testing.T) {
+	s := NewLegit(legitCfg(20, 100), stats.NewRNG(9))
+	ev1, _ := s.Next()
+	p1 := ev1.Pkt
+	keep := p1.Clone()
+	wantSeq := keep.TCP.Seq
+	wantKey := keep.Flow()
+	ev2, _ := s.Next()
+	if ev2.Pkt != p1 {
+		t.Fatal("stream did not reuse its scratch packet (allocation regression)")
+	}
+	if keep.TCP.Seq != wantSeq || keep.Flow() != wantKey {
+		t.Fatal("Clone did not survive the next Next()")
+	}
+}

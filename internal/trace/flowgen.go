@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"container/heap"
 	"math"
 
 	"dui/internal/packet"
@@ -36,11 +35,12 @@ func NewLegit(cfg LegitConfig, rng *stats.RNG) Stream {
 		cfg.MSS = 1460
 	}
 	g := &flowStream{cfg: cfg, rng: rng}
+	g.scratch.init()
 	for i := 0; i < cfg.Flows; i++ {
 		f := g.newFlow(0)
 		// Desynchronize: first packets spread over one interarrival.
 		f.next = rng.Float64() / cfg.PPS
-		heap.Push(&g.h, f)
+		g.h.push(f)
 	}
 	return g
 }
@@ -58,9 +58,10 @@ type flowStream struct {
 	rng     *stats.RNG
 	h       flowHeap
 	counter uint32
+	scratch packetScratch
 }
 
-func (g *flowStream) newFlow(start float64) *flowState {
+func (g *flowStream) newFlow(start float64) flowState {
 	g.counter++
 	src := g.cfg.SrcBase + packet.Addr(g.counter)
 	dst := g.cfg.Victim.Nth(uint32(g.rng.IntN(250)) + 1)
@@ -69,7 +70,7 @@ func (g *flowStream) newFlow(start float64) *flowState {
 		SrcPort: uint16(1024 + g.rng.IntN(60000)), DstPort: 443,
 		Proto: packet.ProtoTCP,
 	}
-	return &flowState{
+	return flowState{
 		key:  key,
 		dst:  dst,
 		end:  start + g.cfg.Dur.Sample(g.rng),
@@ -77,48 +78,108 @@ func (g *flowStream) newFlow(start float64) *flowState {
 	}
 }
 
-// Next implements Stream.
+// Next implements Stream. The returned Event borrows the stream's scratch
+// packet (see the Stream packet-lifetime rule).
 func (g *flowStream) Next() (Event, bool) {
 	for {
 		if len(g.h) == 0 {
 			return Event{}, false
 		}
-		f := g.h[0]
+		f := &g.h[0]
 		if f.next > g.cfg.Until {
 			return Event{}, false
 		}
 		if f.next > f.end {
 			// Flow over: renew in place.
-			nf := g.newFlow(f.next)
-			g.h[0] = nf
-			heap.Fix(&g.h, 0)
+			g.h[0] = g.newFlow(f.next)
+			g.h.siftDown(0, len(g.h))
 			continue
 		}
 		at := f.next
-		h := packet.TCPHeader{
+		p := g.scratch.fillTCP(f.key, packet.TCPHeader{
 			SrcPort: f.key.SrcPort, DstPort: f.key.DstPort,
 			Seq: f.seq, Flags: packet.FlagACK,
-		}
-		p := packet.NewTCP(f.key.Src, f.key.Dst, h, g.cfg.MSS+40)
+		}, g.cfg.MSS+40)
 		f.seq += uint32(g.cfg.MSS)
 		f.next = at + g.rng.Exp(1/g.cfg.PPS)
-		heap.Fix(&g.h, 0)
+		g.h.siftDown(0, len(g.h))
 		return Event{Time: at, Pkt: p}, true
 	}
 }
 
-type flowHeap []*flowState
+// flowHeap is a value-typed binary min-heap on flowState.next with
+// hand-inlined sift operations. The algorithms mirror container/heap's
+// up/down byte for byte (same comparison order, same swaps), so the heap
+// layout — and therefore the emission order, even under exact float ties —
+// is identical to the historical container/heap implementation, while the
+// interface round-trips and per-node pointer chasing are gone.
+type flowHeap []flowState
 
-func (h flowHeap) Len() int            { return len(h) }
-func (h flowHeap) Less(i, j int) bool  { return h[i].next < h[j].next }
-func (h flowHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *flowHeap) Push(x interface{}) { *h = append(*h, x.(*flowState)) }
-func (h *flowHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	f := old[n-1]
-	*h = old[:n-1]
-	return f
+// push appends f and sifts it up (container/heap.Push equivalent).
+func (h *flowHeap) push(f flowState) {
+	*h = append(*h, f)
+	s := *h
+	j := len(s) - 1
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(s[j].next < s[i].next) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+// siftDown restores heap order from index i within s[:n]
+// (container/heap.down equivalent; Fix(i) for a root whose key changed).
+func (h flowHeap) siftDown(i, n int) {
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			return
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].next < h[j1].next {
+			j = j2
+		}
+		if !(h[j].next < h[i].next) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// init heapifies (container/heap.Init equivalent).
+func (h flowHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i, n)
+	}
+}
+
+// packetScratch is the stream-owned reusable packet of the zero-allocation
+// scheme: every Next() re-fills the same Packet and TCPHeader, so the
+// per-packet hot path performs no heap allocation at all. Consumers that
+// retain the packet past the next Next() must Clone() it (see Stream).
+type packetScratch struct {
+	pkt packet.Packet
+	tcp packet.TCPHeader
+}
+
+func (s *packetScratch) init() {
+	s.pkt.TCP = &s.tcp
+}
+
+// fillTCP resets the scratch packet to a fresh TCP packet with the same
+// field values packet.NewTCP would produce.
+func (s *packetScratch) fillTCP(key packet.FlowKey, h packet.TCPHeader, size int) *packet.Packet {
+	s.tcp = h
+	s.pkt = packet.Packet{
+		Src: key.Src, Dst: key.Dst, TTL: packet.DefaultTTL,
+		Proto: packet.ProtoTCP, Size: size, TCP: &s.tcp,
+	}
+	return &s.pkt
 }
 
 // MaliciousConfig describes the §3.1 attacker's flow pool: flows that are
@@ -158,6 +219,7 @@ func NewMalicious(cfg MaliciousConfig, rng *stats.RNG) Stream {
 		cfg.MSS = 1460
 	}
 	m := &malStream{cfg: cfg, rng: rng}
+	m.scratch.init()
 	for i := 0; i < cfg.Flows; i++ {
 		key := packet.FlowKey{
 			Src:     cfg.SrcBase + packet.Addr(i+1),
@@ -165,28 +227,30 @@ func NewMalicious(cfg MaliciousConfig, rng *stats.RNG) Stream {
 			SrcPort: uint16(1024 + rng.IntN(60000)), DstPort: 443,
 			Proto: packet.ProtoTCP,
 		}
-		m.h = append(m.h, &flowState{
+		m.h = append(m.h, flowState{
 			key:  key,
 			end:  math.Inf(1),
 			next: rng.Float64() / cfg.PPS,
 		})
 	}
-	heap.Init(&m.h)
+	m.h.init()
 	return m
 }
 
 type malStream struct {
-	cfg MaliciousConfig
-	rng *stats.RNG
-	h   flowHeap
+	cfg     MaliciousConfig
+	rng     *stats.RNG
+	h       flowHeap
+	scratch packetScratch
 }
 
-// Next implements Stream.
+// Next implements Stream. The returned Event borrows the stream's scratch
+// packet (see the Stream packet-lifetime rule).
 func (m *malStream) Next() (Event, bool) {
 	if len(m.h) == 0 {
 		return Event{}, false
 	}
-	f := m.h[0]
+	f := &m.h[0]
 	if f.next > m.cfg.Until {
 		return Event{}, false
 	}
@@ -201,11 +265,10 @@ func (m *malStream) Next() (Event, bool) {
 	} else {
 		f.seq += uint32(m.cfg.MSS) // look like ordinary traffic
 	}
-	h := packet.TCPHeader{
+	p := m.scratch.fillTCP(f.key, packet.TCPHeader{
 		SrcPort: f.key.SrcPort, DstPort: f.key.DstPort,
 		Seq: seq, Flags: packet.FlagACK,
-	}
-	p := packet.NewTCP(f.key.Src, f.key.Dst, h, m.cfg.MSS+40)
+	}, m.cfg.MSS+40)
 	// The attacker paces her own traffic: near-constant spacing (±10%
 	// jitter) so a flow is never idle long enough to be evicted. This is
 	// the "always remain active" requirement of §3.1. The adaptive
@@ -228,6 +291,6 @@ func (m *malStream) Next() (Event, bool) {
 	} else {
 		f.next = at + m.rng.Uniform(0.9, 1.1)/m.cfg.PPS
 	}
-	heap.Fix(&m.h, 0)
+	m.h.siftDown(0, len(m.h))
 	return Event{Time: at, Pkt: p}, true
 }

@@ -11,7 +11,6 @@
 package trace
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -27,6 +26,14 @@ type Event struct {
 
 // Stream produces packets in non-decreasing time order. Next reports
 // ok=false when the stream is exhausted.
+//
+// Packet lifetime: the Event.Pkt returned by Next is only valid until the
+// next call to Next on the same stream — generators re-fill one
+// stream-owned scratch packet so the per-packet hot path allocates
+// nothing. Consumers that inspect the packet and move on (Blink's
+// Monitor.Feed, the tR measurements) need no copy; consumers that retain
+// the packet — netsim link queues, MitM taps, anything that buffers —
+// must take a Clone() first (blink.PlayStream does).
 type Stream interface {
 	Next() (Event, bool)
 }
@@ -85,8 +92,15 @@ func (d ParetoDuration) String() string {
 }
 
 // merge implements Stream over multiple sub-streams in time order.
+//
+// Refilling is lazy: the slot whose event was handed out is not advanced
+// until the NEXT call. Advancing eagerly would overwrite the source
+// stream's scratch packet before the caller saw the event (see the Stream
+// packet-lifetime rule). Each sub-stream owns its scratch, so the one
+// buffered event per slot is stable while it waits in the heap.
 type merge struct {
-	h mergeHeap
+	h       []mergeItem
+	pending Stream // source whose buffered event was handed out last Next
 }
 
 // Merge combines streams into one time-ordered stream.
@@ -97,40 +111,62 @@ func Merge(streams ...Stream) Stream {
 			m.h = append(m.h, mergeItem{ev: ev, src: s})
 		}
 	}
-	heap.Init(&m.h)
+	// Heapify (container/heap.Init equivalent).
+	for i := len(m.h)/2 - 1; i >= 0; i-- {
+		m.siftDown(i, len(m.h))
+	}
 	return m
 }
 
-// Next implements Stream.
+// Next implements Stream. The packet-lifetime rule of Stream applies: the
+// returned Event borrows the source stream's scratch packet.
 func (m *merge) Next() (Event, bool) {
+	if m.pending != nil {
+		src := m.pending
+		m.pending = nil
+		if ev, ok := src.Next(); ok {
+			m.h[0] = mergeItem{ev: ev, src: src}
+			m.siftDown(0, len(m.h))
+		} else {
+			// container/heap.Pop equivalent: swap root/last, sift, shrink.
+			n := len(m.h) - 1
+			m.h[0], m.h[n] = m.h[n], m.h[0]
+			m.siftDown(0, n)
+			m.h[n] = mergeItem{} // release the exhausted stream
+			m.h = m.h[:n]
+		}
+	}
 	if len(m.h) == 0 {
 		return Event{}, false
 	}
 	it := m.h[0]
-	if ev, ok := it.src.Next(); ok {
-		m.h[0] = mergeItem{ev: ev, src: it.src}
-		heap.Fix(&m.h, 0)
-	} else {
-		heap.Pop(&m.h)
-	}
+	m.pending = it.src
 	return it.ev, true
+}
+
+// siftDown mirrors container/heap's down on the event-time key, keeping
+// the pop order identical to the historical container/heap implementation
+// even under exact time ties.
+func (m *merge) siftDown(i, n int) {
+	h := m.h
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			return
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].ev.Time < h[j1].ev.Time {
+			j = j2
+		}
+		if !(h[j].ev.Time < h[i].ev.Time) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 type mergeItem struct {
 	ev  Event
 	src Stream
-}
-
-type mergeHeap []mergeItem
-
-func (h mergeHeap) Len() int            { return len(h) }
-func (h mergeHeap) Less(i, j int) bool  { return h[i].ev.Time < h[j].ev.Time }
-func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
-func (h *mergeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
 }
