@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke report
+.PHONY: check vet build test race audit bench bench-smoke report
 
 ## check: the full gate — vet, build, race-enabled tests.
 check: vet build race
@@ -16,6 +16,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## audit: the race-enabled suite with the invariant-audit layer forced on
+## (engine causality checks + audited experiment paths). The 0 allocs/op
+## guards are skipped under -race, so this does not fight the alloc gate.
+audit:
+	DUI_AUDIT=1 $(GO) test -race ./...
 
 ## bench: the per-experiment and substrate benchmarks (minutes); refreshes
 ## BENCH_2.json, the repo's benchmark-trajectory file.

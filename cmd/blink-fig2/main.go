@@ -15,6 +15,8 @@ import (
 	"os"
 
 	"dui"
+	"dui/internal/audit"
+	"dui/internal/blink"
 	"dui/internal/prof"
 	"dui/internal/runner"
 	"dui/internal/stats"
@@ -32,6 +34,8 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit plottable CSV instead of the summary")
 		parallel = flag.Int("parallel", 0, "trial workers (0 = all cores; results identical at any setting)")
 		progress = flag.Bool("progress", false, "report per-trial progress on stderr")
+		trace    = flag.String("trace", "", "write the per-trial selector event trace (JSONL) to this file; diff two runs with cmd/simtrace")
+		audited  = flag.Bool("audit", audit.Enabled(), "check selector invariants on every trial (defaults to DUI_AUDIT)")
 	)
 	flag.Parse()
 	defer prof.Start()()
@@ -40,6 +44,23 @@ func main() {
 		Runs: *runs, Duration: *duration, TR: *tr, Qm: *qm,
 		LegitFlows: *flows, Seed: *seed, MeanFlowDuration: *meanDur,
 		Parallel: *parallel,
+	}
+	var (
+		recs []*audit.Recorder
+		auds []*audit.MonAudit
+	)
+	if *trace != "" || *audited {
+		n := cfgIn.Defaults().Runs
+		recs = make([]*audit.Recorder, n)
+		auds = make([]*audit.MonAudit, n)
+		cfgIn.ObserveTrial = func(run int, m *blink.Monitor) {
+			var rec *audit.Recorder
+			if *trace != "" {
+				rec = audit.NewRecorder()
+				recs[run] = rec
+			}
+			auds[run] = audit.AttachMonitor(m, rec)
+		}
 	}
 	if *progress {
 		cfgIn.OnProgress = func(p runner.Progress) {
@@ -51,6 +72,36 @@ func main() {
 		}
 	}
 	res := dui.RunFig2(cfgIn)
+
+	if *audited {
+		for run, a := range auds {
+			if a == nil {
+				continue
+			}
+			if err := a.Check(res.Config.Duration); err != nil {
+				fmt.Fprintf(os.Stderr, "blink-fig2: audit: run %d: %v\n", run, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "blink-fig2: audit: selector invariants hold for all %d runs\n", len(auds))
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blink-fig2: %v\n", err)
+			os.Exit(1)
+		}
+		events := audit.Flatten(recs)
+		if err := audit.WriteJSONL(f, events); err != nil {
+			fmt.Fprintf(os.Stderr, "blink-fig2: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "blink-fig2: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "blink-fig2: wrote %d trace events to %s\n", len(events), *trace)
+	}
 
 	if *csv {
 		names := []string{"theory_mean", "theory_p5", "theory_p95", "sim_mean", "sim_p5", "sim_p95"}

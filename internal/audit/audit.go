@@ -1,0 +1,69 @@
+// Package audit is the opt-in correctness layer for the simulation
+// substrate: invariant checkers that prove packet conservation, queue
+// bounds, virtual-time causality, and Blink selector consistency while a
+// simulation runs, and an event-trace recorder whose output localizes the
+// *first* diverging event between two runs (cmd/simtrace) instead of
+// leaving bit-identity claims to whole-file CSV diffs.
+//
+// The package only observes: it attaches to the hooks the substrate
+// exposes (netsim.Network.SetLinkProbe, netsim.Engine.SetAudit, the
+// blink.Monitor On* callbacks, blink.Fig2Config.ObserveTrial) and never
+// mutates simulation state. With nothing attached the substrate pays one
+// nil check per event — the zero-allocation hot-path guarantees of the
+// engine, the trace generators, and Monitor.Feed are unchanged.
+//
+// Audits are wired into tests and experiment binaries behind the
+// DUI_AUDIT=1 environment variable (or each binary's -audit flag); reduced
+// scale versions run unconditionally. `make audit` runs the full suite
+// race-enabled with audits on.
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Enabled reports whether DUI_AUDIT requests audit instrumentation.
+// Unset, "0", "false", "off", and "no" mean off; anything else means on.
+func Enabled() bool {
+	switch os.Getenv("DUI_AUDIT") {
+	case "", "0", "false", "off", "no":
+		return false
+	}
+	return true
+}
+
+// maxViolations bounds how many violations a checker accumulates; a broken
+// invariant usually trips on every subsequent event, and the first few
+// localize the bug.
+const maxViolations = 32
+
+// violations collects invariant failures without stopping the simulation,
+// so a single root cause reports its earliest manifestations rather than
+// panicking on the first.
+type violations struct {
+	errs      []error
+	truncated int
+}
+
+func (v *violations) addf(format string, args ...any) {
+	if len(v.errs) >= maxViolations {
+		v.truncated++
+		return
+	}
+	v.errs = append(v.errs, fmt.Errorf("audit: "+format, args...))
+}
+
+// err joins the collected violations into one error, nil if none.
+func (v *violations) err() error {
+	if len(v.errs) == 0 {
+		return nil
+	}
+	errs := v.errs
+	if v.truncated > 0 {
+		errs = append(append([]error{}, errs...),
+			fmt.Errorf("audit: %d further violations suppressed", v.truncated))
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,119 @@
+package audit
+
+import (
+	"math"
+
+	"dui/internal/blink"
+	"dui/internal/packet"
+)
+
+// MonAudit traces and checks one blink.Monitor. The tracer records every
+// residence event (sample, evict, reset-evict), every detected
+// retransmission, and every failure inference; the checker verifies the
+// selector invariants the PR 2 incremental-count optimization rests on.
+type MonAudit struct {
+	m   *blink.Monitor
+	rec *Recorder
+	v   violations
+}
+
+// AttachMonitor installs tracing (when rec is non-nil) and continuous
+// residence checks on m via its OnSample/OnEvict/OnRetrans/OnFailure
+// callbacks. It claims those callback slots, so attach only to monitors
+// the experiment does not observe itself (RunFig2's trial monitors).
+func AttachMonitor(m *blink.Monitor, rec *Recorder) *MonAudit {
+	a := &MonAudit{m: m, rec: rec}
+	m.OnSample(func(now float64, key packet.FlowKey, cell int) {
+		if a.rec != nil {
+			a.rec.Record(now, KindSample, cell, key.FastHash())
+		}
+	})
+	m.OnEvict(func(ev blink.Eviction) {
+		if ev.Residence < 0 || math.IsNaN(ev.Residence) {
+			a.v.addf("t=%.9g cell %d: eviction before sampling (residence %g)", ev.Now, ev.Cell, ev.Residence)
+		}
+		if a.rec != nil {
+			k := KindEvict
+			if ev.Reset {
+				k = KindResetEvict
+			}
+			a.rec.Record(ev.Now, k, ev.Cell, ev.Key.FastHash())
+		}
+	})
+	m.OnRetrans(func(ev blink.RetransEvent) {
+		if a.rec != nil {
+			a.rec.Record(ev.Now, KindRetrans, ev.Cell, ev.Key.FastHash())
+		}
+	})
+	m.OnFailure(func(now float64) {
+		if a.rec != nil {
+			a.rec.Record(now, KindFailure, 0, 0)
+		}
+	})
+	return a
+}
+
+// Check verifies the selector's structural invariants at virtual time now
+// (now must be >= the monitor's last Feed time) and returns them joined
+// with any violations the continuous hooks collected:
+//
+//   - occupied cells never exceed the configured cell count;
+//   - per-cell timestamps are causal: SampledAt <= LastSeen, and a
+//     retransmitting occupant has SampledAt <= LastRetr <= LastSeen;
+//   - the `counted` flags are consistent with the incremental in-window
+//     retransmission count: counted implies occupied-and-retransmitting,
+//     the count equals the number of counted cells, every cell whose last
+//     retransmission is still inside the window at now is counted, and
+//     minLastRetr never exceeds any counted cell's LastRetr.
+func (a *MonAudit) Check(now float64) error {
+	cfg := a.m.Config()
+	cells := a.m.Cells()
+	if len(cells) != cfg.Cells {
+		a.v.addf("selector has %d cells, config says %d", len(cells), cfg.Cells)
+	}
+	occupied, counted := 0, 0
+	minCounted := math.Inf(1)
+	for i, c := range cells {
+		if !c.Occupied {
+			if c.Counted() {
+				a.v.addf("cell %d: counted but unoccupied", i)
+			}
+			continue
+		}
+		occupied++
+		if c.LastSeen > now {
+			a.v.addf("cell %d: LastSeen %.9g after the audit time %.9g", i, c.LastSeen, now)
+		}
+		if c.LastSeen < c.SampledAt {
+			a.v.addf("cell %d: LastSeen %.9g before SampledAt %.9g", i, c.LastSeen, c.SampledAt)
+		}
+		if c.HasRetr() && (c.LastRetr < c.SampledAt || c.LastRetr > c.LastSeen) {
+			a.v.addf("cell %d: LastRetr %.9g outside [SampledAt %.9g, LastSeen %.9g]", i, c.LastRetr, c.SampledAt, c.LastSeen)
+		}
+		if c.Counted() {
+			if !c.HasRetr() {
+				a.v.addf("cell %d: counted without a retransmission", i)
+			}
+			counted++
+			if c.LastRetr < minCounted {
+				minCounted = c.LastRetr
+			}
+		} else if c.HasRetr() && now-c.LastRetr <= cfg.Window {
+			a.v.addf("cell %d: in-window retransmission (LastRetr %.9g, now %.9g) not counted", i, c.LastRetr, now)
+		}
+	}
+	if occupied > cfg.Cells {
+		a.v.addf("%d occupied cells exceed the %d-cell selector", occupied, cfg.Cells)
+	}
+	count, minLastRetr := a.m.AuditWindowState()
+	if count != counted {
+		a.v.addf("incremental retransmission count %d != %d counted cells", count, counted)
+	}
+	if counted > 0 && minLastRetr > minCounted {
+		a.v.addf("minLastRetr %.9g above the true counted minimum %.9g (bound must be conservative)", minLastRetr, minCounted)
+	}
+	return a.v.err()
+}
+
+// Err returns violations collected by the continuous hooks so far.
+func (a *MonAudit) Err() error { return a.v.err() }

@@ -1,0 +1,155 @@
+package audit
+
+import (
+	"strconv"
+
+	"dui/internal/netsim"
+	"dui/internal/packet"
+)
+
+// NetAudit is the continuous invariant checker and event tracer for one
+// netsim.Network. It observes every link event through the network's link
+// probe, maintains shadow per-direction counters rebuilt purely from the
+// event stream, and checks after each event that the link's own LinkStats
+// satisfy the documented conservation identities:
+//
+//	Offered + Injected == TapDrop + tapHeld + Sent
+//	Sent == Delivered + QueueDrop + DownDrop + queued + onWire
+//	0 <= queued <= QueueCap (when capped)
+//	queued == 0 while the link is down (failures flush the queue)
+//
+// At Check/CheckDrained time it additionally cross-checks shadow == stats,
+// which catches counters incremented at the wrong layer even when the
+// identities still balance. Violations are collected, not panicked on; Err
+// returns them.
+type NetAudit struct {
+	nw  *netsim.Network
+	rec *Recorder
+	v   violations
+
+	shadow map[shadowKey]*shadowCounts
+}
+
+type shadowKey struct {
+	link *netsim.Link
+	dir  netsim.Direction
+}
+
+type shadowCounts struct {
+	sent, delivered, queuedrop, downdrop, tapdrop, faildrop uint64
+}
+
+// AttachNetwork installs the auditor on nw: the engine's causality check
+// turns on and every link event is checked (and recorded, when rec is
+// non-nil). Attach before the simulation starts so the shadow counters see
+// every event. At most one auditor per network (the probe slot is single).
+func AttachNetwork(nw *netsim.Network, rec *Recorder) *NetAudit {
+	a := &NetAudit{nw: nw, rec: rec, shadow: map[shadowKey]*shadowCounts{}}
+	nw.Engine().SetAudit(true)
+	nw.SetLinkProbe(a.onLinkEvent)
+	return a
+}
+
+func (a *NetAudit) onLinkEvent(now float64, kind netsim.LinkEventKind, l *netsim.Link, dir netsim.Direction, p *packet.Packet) {
+	if a.rec != nil {
+		var flow uint64
+		if p != nil {
+			flow = p.Flow().FastHash()
+		}
+		a.rec.Record(now, Kind(kind.String()), l.Index()*2+int(dir), flow)
+	}
+	sc := a.shadow[shadowKey{l, dir}]
+	if sc == nil {
+		sc = &shadowCounts{}
+		a.shadow[shadowKey{l, dir}] = sc
+	}
+	switch kind {
+	case netsim.LinkSent:
+		sc.sent++
+	case netsim.LinkDelivered:
+		sc.delivered++
+	case netsim.LinkQueueDrop:
+		sc.queuedrop++
+	case netsim.LinkDownDrop:
+		sc.downdrop++
+	case netsim.LinkTapDrop:
+		sc.tapdrop++
+	case netsim.LinkFailDrop:
+		sc.faildrop++
+	}
+	// The shadow cross-check is deferred to Check/CheckDrained: within one
+	// synchronous send, stats are fully updated before the packet's probes
+	// fire, so comparing mid-sequence would flag the not-yet-emitted probe.
+	a.checkLinkDir(now, l, dir, nil)
+}
+
+// checkLinkDir verifies one direction's invariants at the current instant.
+func (a *NetAudit) checkLinkDir(now float64, l *netsim.Link, dir netsim.Direction, sc *shadowCounts) {
+	st := l.Stats(dir)
+	queued, onWire, held := l.Occupancy(dir)
+	where := linkName(l, dir)
+	if queued < 0 || onWire < 0 || held < 0 {
+		a.v.addf("t=%.9g %s: negative occupancy (queued=%d onWire=%d tapHeld=%d)", now, where, queued, onWire, held)
+	}
+	if l.QueueCap > 0 && queued > l.QueueCap {
+		a.v.addf("t=%.9g %s: queue over capacity (%d > %d)", now, where, queued, l.QueueCap)
+	}
+	if !l.Up() && queued > 0 {
+		a.v.addf("t=%.9g %s: %d queued packets surviving a link failure", now, where, queued)
+	}
+	if st.Sent != st.Delivered+st.QueueDrop+st.DownDrop+uint64(queued)+uint64(onWire) {
+		a.v.addf("t=%.9g %s: link conservation broken: Sent=%d != Delivered=%d + QueueDrop=%d + DownDrop=%d + queued=%d + onWire=%d",
+			now, where, st.Sent, st.Delivered, st.QueueDrop, st.DownDrop, queued, onWire)
+	}
+	if st.Offered+st.Injected != st.TapDrop+uint64(held)+st.Sent {
+		a.v.addf("t=%.9g %s: send-layer conservation broken: Offered=%d + Injected=%d != TapDrop=%d + tapHeld=%d + Sent=%d",
+			now, where, st.Offered, st.Injected, st.TapDrop, held, st.Sent)
+	}
+	if sc != nil {
+		if sc.sent != st.Sent || sc.delivered != st.Delivered || sc.queuedrop != st.QueueDrop ||
+			sc.tapdrop != st.TapDrop || sc.downdrop+sc.faildrop != st.DownDrop {
+			a.v.addf("t=%.9g %s: stats disagree with observed events: stats=%+v events={sent:%d delivered:%d queuedrop:%d downdrop:%d+%d tapdrop:%d}",
+				now, where, st, sc.sent, sc.delivered, sc.queuedrop, sc.downdrop, sc.faildrop, sc.tapdrop)
+		}
+	}
+}
+
+// Check re-verifies every link direction at the current virtual time and
+// returns all violations collected so far.
+func (a *NetAudit) Check() error {
+	now := a.nw.Now()
+	for _, l := range a.nw.Links() {
+		for _, dir := range []netsim.Direction{netsim.AToB, netsim.BToA} {
+			a.checkLinkDir(now, l, dir, a.shadow[shadowKey{l, dir}])
+		}
+	}
+	return a.v.err()
+}
+
+// CheckDrained is the drain-time audit: beyond Check, every link direction
+// must hold no packets (queued, on wire, or tap-held), which turns the
+// conservation identities into exact equalities over the counters alone.
+// Call it once the engine has no in-network traffic left.
+func (a *NetAudit) CheckDrained() error {
+	now := a.nw.Now()
+	for _, l := range a.nw.Links() {
+		for _, dir := range []netsim.Direction{netsim.AToB, netsim.BToA} {
+			if queued, onWire, held := l.Occupancy(dir); queued != 0 || onWire != 0 || held != 0 {
+				a.v.addf("t=%.9g %s: not drained (queued=%d onWire=%d tapHeld=%d)",
+					now, linkName(l, dir), queued, onWire, held)
+			}
+		}
+	}
+	return a.Check()
+}
+
+// Err returns the violations collected so far without re-checking.
+func (a *NetAudit) Err() error { return a.v.err() }
+
+func linkName(l *netsim.Link, dir netsim.Direction) string {
+	na, nb := l.Nodes()
+	if dir == netsim.BToA {
+		na, nb = nb, na
+	}
+	return "link#" + strconv.Itoa(l.Index()) + " " + na.Name() + "->" + nb.Name()
+}

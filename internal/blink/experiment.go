@@ -94,6 +94,12 @@ type Fig2Config struct {
 	Parallel int
 	// OnProgress, if set, observes trial completion (see runner.Config).
 	OnProgress func(runner.Progress)
+	// ObserveTrial, if set, is called with each trial's Monitor right
+	// after construction, before any packet is fed — the attachment point
+	// for internal/audit's event tracer and invariant checker. Trials run
+	// concurrently on the worker pool, so the callback must be safe for
+	// concurrent calls (distinct runs receive distinct monitors).
+	ObserveTrial func(run int, m *Monitor)
 }
 
 // Defaults fills the paper's parameters.
@@ -196,7 +202,7 @@ func RunFig2(cfg Fig2Config) *Fig2Result {
 	runs, _ := runner.Run(context.Background(), cfg.Runs, cfg.Seed,
 		runner.Config{Workers: cfg.Parallel, OnProgress: cfg.OnProgress},
 		func(_ context.Context, t runner.Trial) (fig2Run, error) {
-			series := simulateOnce(cfg, res.MeanFlowDuration, stats.ChildAt(cfg.Seed, uint64(t.Index)))
+			series := simulateOnce(cfg, res.MeanFlowDuration, t.Index, stats.ChildAt(cfg.Seed, uint64(t.Index)))
 			out := fig2Run{series: series, hit: math.NaN()}
 			if ht, ok := series.FirstCrossing(float64(cfg.Blink.Threshold)); ok {
 				out.hit = ht
@@ -218,8 +224,11 @@ func RunFig2(cfg Fig2Config) *Fig2Result {
 
 // simulateOnce runs one trace-driven selector simulation and returns the
 // malicious-cell count sampled on the experiment grid.
-func simulateOnce(cfg Fig2Config, meanDur float64, rng *stats.RNG) *stats.Series {
+func simulateOnce(cfg Fig2Config, meanDur float64, run int, rng *stats.RNG) *stats.Series {
 	m := NewMonitor(cfg.Blink)
+	if cfg.ObserveTrial != nil {
+		cfg.ObserveTrial(run, m)
+	}
 	legit := trace.NewLegit(trace.LegitConfig{
 		Victim: Victim, Flows: cfg.LegitFlows,
 		Dur: trace.ExpDuration{MeanSec: meanDur}, PPS: cfg.PPS,

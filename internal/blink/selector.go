@@ -98,6 +98,7 @@ type RetransEvent struct {
 type Eviction struct {
 	Now       float64
 	Key       packet.FlowKey
+	Cell      int
 	Residence float64
 	// Reset is true when the residence ended due to a sample reset
 	// rather than eviction (excluded from tR measurements).
@@ -127,6 +128,7 @@ type Monitor struct {
 	onFailure func(now float64)
 	onRetrans func(RetransEvent)
 	onEvict   func(Eviction)
+	onSample  func(now float64, key packet.FlowKey, cell int)
 
 	failures []float64
 }
@@ -153,6 +155,26 @@ func (m *Monitor) OnRetrans(f func(RetransEvent)) { m.onRetrans = f }
 
 // OnEvict registers an eviction observer (tR measurement).
 func (m *Monitor) OnEvict(f func(Eviction)) { m.onEvict = f }
+
+// OnSample registers an observer of cell occupations — the counterpart of
+// OnEvict, used by the audit event tracer to record every residence.
+func (m *Monitor) OnSample(f func(now float64, key packet.FlowKey, cell int)) { m.onSample = f }
+
+// AuditWindowState exposes the incremental failure-inference counters for
+// the invariant checker (internal/audit): the number of cells currently
+// counted as retransmitting in-window, and the conservative lower bound on
+// their earliest LastRetr.
+func (m *Monitor) AuditWindowState() (retrCount int, minLastRetr float64) {
+	return m.retrCount, m.minLastRetr
+}
+
+// Counted reports whether the cell is included in the monitor's
+// incremental in-window retransmission count (audit introspection).
+func (c Cell) Counted() bool { return c.counted }
+
+// HasRetr reports whether the cell's occupant has ever retransmitted
+// (audit introspection; LastRetr is only meaningful when true).
+func (c Cell) HasRetr() bool { return c.hasRetr }
 
 // Failures returns the times of all inferred failures.
 func (m *Monitor) Failures() []float64 { return m.failures }
@@ -191,21 +213,24 @@ func (m *Monitor) Feed(now float64, p *packet.Packet) {
 
 	switch {
 	case !c.Occupied:
-		m.sample(c, key, now)
+		m.sample(c, idx, key, now)
 	case c.Key == key:
 		m.update(c, idx, p, now)
 	default:
 		// Collision: evict only a finished or inactive occupant.
 		if c.Finished || now-c.LastSeen >= m.cfg.InactivityTimeout {
-			m.evict(c, now, false)
-			m.sample(c, key, now)
+			m.evict(c, idx, now, false)
+			m.sample(c, idx, key, now)
 			m.update(c, idx, p, now)
 		}
 	}
 }
 
-func (m *Monitor) sample(c *Cell, key packet.FlowKey, now float64) {
+func (m *Monitor) sample(c *Cell, idx int, key packet.FlowKey, now float64) {
 	*c = Cell{Occupied: true, Key: key, SampledAt: now, LastSeen: now}
+	if m.onSample != nil {
+		m.onSample(now, key, idx)
+	}
 }
 
 func (m *Monitor) update(c *Cell, idx int, p *packet.Packet, now float64) {
@@ -279,9 +304,9 @@ func (m *Monitor) recount(now float64) {
 	}
 }
 
-func (m *Monitor) evict(c *Cell, now float64, reset bool) {
+func (m *Monitor) evict(c *Cell, idx int, now float64, reset bool) {
 	if m.onEvict != nil && c.Occupied {
-		m.onEvict(Eviction{Now: now, Key: c.Key, Residence: now - c.SampledAt, Reset: reset})
+		m.onEvict(Eviction{Now: now, Key: c.Key, Cell: idx, Residence: now - c.SampledAt, Reset: reset})
 	}
 	if c.counted {
 		m.retrCount--
@@ -294,7 +319,7 @@ func (m *Monitor) evict(c *Cell, now float64, reset bool) {
 func (m *Monitor) maybeReset(now float64) {
 	for now >= m.nextReset {
 		for i := range m.cells {
-			m.evict(&m.cells[i], m.nextReset, true)
+			m.evict(&m.cells[i], i, m.nextReset, true)
 		}
 		m.nextReset += m.cfg.ResetPeriod
 		m.armed = true

@@ -21,9 +21,10 @@ import "math"
 // (the backing array is reused across push/pop), and the (t, seq) key is a
 // total order, so the execution order is independent of heap shape.
 type Engine struct {
-	now float64
-	seq uint64
-	pq  []event
+	now   float64
+	seq   uint64
+	audit bool
+	pq    []event
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -31,6 +32,21 @@ func NewEngine() *Engine { return &Engine{} }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
+
+// SetAudit toggles continuous causality checking: every popped event's
+// timestamp is verified against virtual-time monotonicity, so a corrupted
+// heap order panics at the first out-of-order pop instead of silently
+// reordering the simulation. Costs one comparison per event when on.
+func (e *Engine) SetAudit(on bool) { e.audit = on }
+
+// checkCausality panics if executing an event at t would move the clock
+// backwards. At/After already reject past scheduling, so a violation here
+// means the priority queue itself mis-ordered events.
+func (e *Engine) checkCausality(t float64) {
+	if t < e.now {
+		panic("netsim: audit: event queue popped an event before the current virtual time")
+	}
+}
 
 // At schedules fn at absolute time t. Scheduling in the past or at NaN
 // panics: both are always simulation bugs (a NaN timestamp would silently
@@ -64,6 +80,9 @@ func (e *Engine) RunUntil(t float64) int {
 	n := 0
 	for len(e.pq) > 0 && e.pq[0].t <= t {
 		ev := e.pop()
+		if e.audit {
+			e.checkCausality(ev.t)
+		}
 		e.now = ev.t
 		ev.fn()
 		n++
@@ -80,6 +99,9 @@ func (e *Engine) Run() int {
 	n := 0
 	for len(e.pq) > 0 {
 		ev := e.pop()
+		if e.audit {
+			e.checkCausality(ev.t)
+		}
 		e.now = ev.t
 		ev.fn()
 		n++

@@ -46,26 +46,80 @@ type Injector struct {
 
 // Inject sends p toward the receiver in direction dir, entering the link
 // now. Injected packets bypass taps (the attacker does not intercept
-// herself).
+// herself); they are counted in LinkStats.Injected as well as Sent, so the
+// send-layer conservation invariant stays checkable.
 func (in *Injector) Inject(p *packet.Packet, dir Direction) {
+	in.link.dir[dir].stats.Injected++
 	in.link.enqueue(p, dir)
 }
 
-// LinkStats counts per-direction link activity.
+// LinkStats counts per-direction link activity. The counters satisfy two
+// conservation identities that internal/audit checks:
+//
+//	Offered + Injected == TapDrop + held + Sent
+//	Sent == Delivered + QueueDrop + DownDrop + queued + onWire
+//
+// where (queued, onWire, held) is the instantaneous Occupancy; once the
+// link drains all three occupancy terms are zero and the identities become
+// exact equalities over the counters alone.
 type LinkStats struct {
-	Sent      uint64 // packets that entered the queue
+	Offered   uint64 // packets presented by the attached nodes (before taps)
+	Injected  uint64 // packets originated by a MitM injector (bypass taps)
+	Sent      uint64 // packets that entered the link, including ones then lost to down/drop-tail
 	Delivered uint64 // packets handed to the far node
 	QueueDrop uint64 // drop-tail losses
-	DownDrop  uint64 // lost because the link was down
+	DownDrop  uint64 // lost to link-down: arrived while down, or queued when the link failed
 	TapDrop   uint64 // dropped by a MitM tap
 	Bytes     uint64 // bytes delivered
 }
+
+// LinkEventKind labels one probe observation on a link (see LinkProbe).
+type LinkEventKind uint8
+
+// Link probe event kinds. LinkSent fires for every packet entering the
+// link (mirroring LinkStats.Sent) and is followed by LinkDownDrop or
+// LinkQueueDrop when the packet is immediately lost. LinkFailDrop reports
+// a queued packet flushed by a link failure; the packet itself is no
+// longer available, so the probe receives a nil *packet.Packet.
+const (
+	LinkSent LinkEventKind = iota
+	LinkDelivered
+	LinkQueueDrop
+	LinkDownDrop
+	LinkTapDrop
+	LinkFailDrop
+)
+
+// String names the event kind for traces and diagnostics.
+func (k LinkEventKind) String() string {
+	switch k {
+	case LinkSent:
+		return "sent"
+	case LinkDelivered:
+		return "delivered"
+	case LinkQueueDrop:
+		return "queuedrop"
+	case LinkDownDrop:
+		return "downdrop"
+	case LinkTapDrop:
+		return "tapdrop"
+	case LinkFailDrop:
+		return "faildrop"
+	}
+	return "unknown"
+}
+
+// LinkProbe observes every link event when installed via
+// Network.SetLinkProbe. p is nil for LinkFailDrop. Probes run synchronously
+// on the simulation goroutine; they must not mutate the network.
+type LinkProbe func(now float64, kind LinkEventKind, l *Link, dir Direction, p *packet.Packet)
 
 // Link is a full-duplex point-to-point link with per-direction transmission
 // rate, propagation delay, and a drop-tail queue measured in packets.
 type Link struct {
 	net  *Network
 	a, b *Node
+	idx  int
 
 	// RateBps is the transmission rate in bits per second; 0 means
 	// infinite (no serialization delay). Delay is one-way propagation in
@@ -83,20 +137,58 @@ type Link struct {
 
 type linkDir struct {
 	busyUntil float64
-	qlen      int
+	qlen      int    // packets queued or serializing (not yet on the wire)
+	onWire    int    // packets past serialization, propagating toward the peer
+	tapHeld   int    // packets held in a tap-imposed delay, not yet on the link
+	epoch     uint64 // bumped on link failure; queued packets from older epochs are gone
 	stats     LinkStats
 }
 
 // Up reports whether the link is currently up.
 func (l *Link) Up() bool { return l.up }
 
-// SetUp changes link state; packets sent while down are counted and lost.
-// Packets already in flight are not affected (they were already on the
-// wire).
-func (l *Link) SetUp(up bool) { l.up = up }
+// SetUp changes link state. Taking the link down drops everything still
+// queued or serializing in both directions (counted as DownDrop) and
+// resets the serialization horizon; only packets already on the wire —
+// whose serialization completed before the failure — are still delivered.
+// Packets sent while the link is down are counted and lost.
+func (l *Link) SetUp(up bool) {
+	if l.up == up {
+		return
+	}
+	l.up = up
+	if up {
+		return
+	}
+	now := l.net.eng.Now()
+	for dir := range l.dir {
+		d := &l.dir[dir]
+		n := d.qlen
+		if n > 0 {
+			d.stats.DownDrop += uint64(n)
+			d.qlen = 0
+		}
+		d.busyUntil = now
+		d.epoch++
+		for i := 0; i < n; i++ {
+			l.net.probeLink(LinkFailDrop, l, Direction(dir), nil)
+		}
+	}
+}
 
 // Stats returns a copy of the counters for one direction.
 func (l *Link) Stats(dir Direction) LinkStats { return l.dir[dir].stats }
+
+// Occupancy returns the instantaneous packet population of one direction:
+// queued packets awaiting (or in) serialization, packets on the wire, and
+// packets held by a delaying tap. All three are zero once the link drains.
+func (l *Link) Occupancy(dir Direction) (queued, onWire, tapHeld int) {
+	d := &l.dir[dir]
+	return d.qlen, d.onWire, d.tapHeld
+}
+
+// Index returns the link's dense index within its network (creation order).
+func (l *Link) Index() int { return l.idx }
 
 // Nodes returns the two endpoints in attachment order.
 func (l *Link) Nodes() (a, b *Node) { return l.a, l.b }
@@ -114,7 +206,10 @@ func (l *Link) Peer(n *Node) *Node {
 }
 
 // AttachTap installs a MitM tap on the link and returns the injector bound
-// to it. Multiple taps run in attachment order; a drop by any tap is final.
+// to it. Multiple taps run in attachment order; a drop by any tap is final,
+// and delays accumulate across the chain — every tap sees the packet at
+// interception time, with the summed delay applied before the packet
+// enters the link.
 func (l *Link) AttachTap(t Tap) *Injector {
 	l.taps = append(l.taps, t)
 	return &Injector{link: l}
@@ -131,22 +226,32 @@ func (l *Link) directionFrom(n *Node) Direction {
 // send is the node-facing entry: applies taps, then queues the packet.
 func (l *Link) send(from *Node, p *packet.Packet) {
 	dir := l.directionFrom(from)
+	d := &l.dir[dir]
+	d.stats.Offered++
 	now := l.net.eng.Now()
+	delay := 0.0
 	for _, t := range l.taps {
 		v := t.Intercept(now, p, dir)
 		if v.Drop {
-			l.dir[dir].stats.TapDrop++
+			d.stats.TapDrop++
+			l.net.probeLink(LinkTapDrop, l, dir, p)
 			return
 		}
 		if v.Replace != nil {
 			p = v.Replace
 		}
 		if v.Delay > 0 {
-			d := v.Delay
-			pp := p
-			l.net.eng.After(d, func() { l.enqueue(pp, dir) })
-			return
+			delay += v.Delay
 		}
+	}
+	if delay > 0 {
+		d.tapHeld++
+		pp := p
+		l.net.eng.After(delay, func() {
+			d.tapHeld--
+			l.enqueue(pp, dir)
+		})
+		return
 	}
 	l.enqueue(p, dir)
 }
@@ -157,10 +262,14 @@ func (l *Link) enqueue(p *packet.Packet, dir Direction) {
 	d.stats.Sent++
 	if !l.up {
 		d.stats.DownDrop++
+		l.net.probeLink(LinkSent, l, dir, p)
+		l.net.probeLink(LinkDownDrop, l, dir, p)
 		return
 	}
 	if l.QueueCap > 0 && d.qlen >= l.QueueCap {
 		d.stats.QueueDrop++
+		l.net.probeLink(LinkSent, l, dir, p)
+		l.net.probeLink(LinkQueueDrop, l, dir, p)
 		l.net.notifyDrop(p, l, dir)
 		return
 	}
@@ -176,14 +285,35 @@ func (l *Link) enqueue(p *packet.Packet, dir Direction) {
 	}
 	d.busyUntil = start + tx
 	d.qlen++
+	l.net.probeLink(LinkSent, l, dir, p)
 	dst := l.b
 	if dir == BToA {
 		dst = l.a
 	}
-	eng.At(start+tx, func() { d.qlen-- })
+	// The serialization-done event moves the packet from the queue onto
+	// the wire; a link failure in between flushes the queue (SetUp bumps
+	// the epoch), so the packet is already counted as DownDrop and both
+	// events become no-ops. A failure at exactly start+tx drops the packet
+	// iff the failure event is processed first — deterministic, since
+	// engine ties break by scheduling order.
+	epoch := d.epoch
+	onWire := false
+	eng.At(start+tx, func() {
+		if d.epoch != epoch {
+			return
+		}
+		d.qlen--
+		d.onWire++
+		onWire = true
+	})
 	eng.At(start+tx+l.Delay, func() {
+		if !onWire {
+			return
+		}
+		d.onWire--
 		d.stats.Delivered++
 		d.stats.Bytes += uint64(p.Size)
+		l.net.probeLink(LinkDelivered, l, dir, p)
 		dst.receive(p, l)
 	})
 }

@@ -1,0 +1,190 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"dui/internal/packet"
+)
+
+// TestLinkFailureDropsQueuedPackets pins the fixed failure semantics: a
+// link going down flushes packets still queued or serializing (counted as
+// DownDrop), while packets whose serialization completed — already on the
+// wire — are still delivered.
+func TestLinkFailureDropsQueuedPackets(t *testing.T) {
+	// 100 kbps, 1000-byte packets -> 80 ms serialization each; 10 ms
+	// propagation. Five back-to-back packets at t=0 occupy the queue until
+	// t=0.4; failing the first-hop link at t=0.12 means packet 1 (done at
+	// 0.08) is on the wire, packet 2 is mid-serialization, packets 3-5 are
+	// queued.
+	nw, h1, h2, links := lineNet(1e5, 0.01, 0)
+	delivered := 0
+	h2.SetReceiver(ReceiverFunc(func(now float64, p *packet.Packet) { delivered++ }))
+	for i := 0; i < 5; i++ {
+		h1.Send(packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{Seq: uint32(i)}, 1000))
+	}
+	nw.FailLink(links[0], 0.12)
+	nw.RunUntil(10)
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (only the packet on the wire at the failure)", delivered)
+	}
+	s := links[0].Stats(AToB)
+	if s.DownDrop != 4 {
+		t.Fatalf("DownDrop = %d, want 4 (one serializing + three queued)", s.DownDrop)
+	}
+	if s.Sent != 5 || s.Delivered != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if q, w, h := links[0].Occupancy(AToB); q != 0 || w != 0 || h != 0 {
+		t.Fatalf("occupancy after failure = (%d,%d,%d), want drained", q, w, h)
+	}
+}
+
+// TestLinkFailureResetsSerialization pins the busyUntil reset: after a
+// failure flushed the queue, a recovered link starts serializing fresh
+// instead of waiting out the phantom backlog.
+func TestLinkFailureResetsSerialization(t *testing.T) {
+	nw, h1, h2, links := lineNet(1e5, 0.001, 0)
+	var deliveredAt []float64
+	h2.SetReceiver(ReceiverFunc(func(now float64, p *packet.Packet) { deliveredAt = append(deliveredAt, now) }))
+	// Build an 800 ms backlog (10 packets x 80 ms), then fail and recover
+	// the first hop before any of it escapes.
+	for i := 0; i < 10; i++ {
+		h1.Send(packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{Seq: uint32(i)}, 1000))
+	}
+	nw.Engine().At(0.05, func() { links[0].SetUp(false) })
+	nw.Engine().At(0.10, func() { links[0].SetUp(true) })
+	nw.Engine().At(0.20, func() {
+		h1.Send(packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{Seq: 99}, 1000))
+	})
+	nw.RunUntil(10)
+	if len(deliveredAt) != 1 {
+		t.Fatalf("delivered %d packets, want 1 (backlog flushed at failure)", len(deliveredAt))
+	}
+	// Fresh serialization from 0.20: 3 hops x (80 ms + 1 ms) = 0.443.
+	if want := 0.20 + 3*0.081; math.Abs(deliveredAt[0]-want) > 1e-9 {
+		t.Fatalf("post-recovery delivery at %v, want %v", deliveredAt[0], want)
+	}
+}
+
+// TestLinkFailureWhileDownIsIdempotent pins that repeated SetUp(false)
+// calls do not double-count the flushed queue.
+func TestLinkFailureWhileDownIsIdempotent(t *testing.T) {
+	nw, h1, h2, links := lineNet(1e5, 0.001, 0)
+	_ = h2
+	for i := 0; i < 3; i++ {
+		h1.Send(packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{Seq: uint32(i)}, 1000))
+	}
+	nw.Engine().At(0.01, func() {
+		links[0].SetUp(false)
+		links[0].SetUp(false)
+	})
+	nw.RunUntil(1)
+	if got := links[0].Stats(AToB).DownDrop; got != 3 {
+		t.Fatalf("DownDrop = %d, want 3", got)
+	}
+}
+
+// TestMultiTapChainSeesDelayedPackets pins the tap-chain fix: a tap
+// returning a delay no longer short-circuits the chain — later taps still
+// intercept the packet (in attachment order), and delays accumulate.
+func TestMultiTapChainSeesDelayedPackets(t *testing.T) {
+	nw, h1, h2, links := lineNet(0, 0.001, 0)
+	var at []float64
+	h2.SetReceiver(ReceiverFunc(func(now float64, p *packet.Packet) { at = append(at, now) }))
+	secondSaw := 0
+	var secondWindow uint16
+	links[1].AttachTap(TapFunc(func(now float64, p *packet.Packet, dir Direction) TapVerdict {
+		q := p.Clone()
+		q.TCP.Window = 7
+		return TapVerdict{Delay: 0.25, Replace: q}
+	}))
+	links[1].AttachTap(TapFunc(func(now float64, p *packet.Packet, dir Direction) TapVerdict {
+		secondSaw++
+		secondWindow = p.TCP.Window
+		return TapVerdict{Delay: 0.25}
+	}))
+	h1.Send(packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{Window: 100}, 100))
+	nw.RunUntil(5)
+	if secondSaw != 1 {
+		t.Fatalf("second tap intercepted %d packets, want 1", secondSaw)
+	}
+	if secondWindow != 7 {
+		t.Fatalf("second tap saw Window=%d, want the first tap's replacement (7)", secondWindow)
+	}
+	if len(at) != 1 || math.Abs(at[0]-(0.5+0.003)) > 1e-9 {
+		t.Fatalf("delivery at %v, want 0.503 (two 0.25 s tap delays + 3 ms propagation)", at)
+	}
+}
+
+// TestMultiTapDropAfterDelayingTap pins that a later tap can still drop a
+// packet an earlier tap delayed (the drop is decided at interception time,
+// before the packet enters the link).
+func TestMultiTapDropAfterDelayingTap(t *testing.T) {
+	nw, h1, h2, links := lineNet(0, 0.001, 0)
+	delivered := 0
+	h2.SetReceiver(ReceiverFunc(func(now float64, p *packet.Packet) { delivered++ }))
+	links[1].AttachTap(TapFunc(func(now float64, p *packet.Packet, dir Direction) TapVerdict {
+		return TapVerdict{Delay: 0.5}
+	}))
+	links[1].AttachTap(TapFunc(func(now float64, p *packet.Packet, dir Direction) TapVerdict {
+		return TapVerdict{Drop: true}
+	}))
+	h1.Send(packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{}, 100))
+	nw.RunUntil(5)
+	if delivered != 0 {
+		t.Fatal("packet delivered despite the second tap's drop")
+	}
+	if s := links[1].Stats(AToB); s.TapDrop != 1 || s.Sent != 0 {
+		t.Fatalf("stats = %+v, want TapDrop=1 Sent=0", s)
+	}
+}
+
+// TestLinkStatsConservation pins the documented counter identities on a
+// workload mixing drop-tail loss, a link failure, tap drops, tap delays,
+// and MitM injection.
+func TestLinkStatsConservation(t *testing.T) {
+	nw, h1, h2, links := lineNet(1e5, 0.001, 2)
+	h2.SetReceiver(ReceiverFunc(func(now float64, p *packet.Packet) {}))
+	drop := false
+	inj := links[1].AttachTap(TapFunc(func(now float64, p *packet.Packet, dir Direction) TapVerdict {
+		if drop {
+			drop = false
+			return TapVerdict{Drop: true}
+		}
+		return TapVerdict{Delay: 0.01}
+	}))
+	send := func() { h1.Send(packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{}, 1000)) }
+	for i := 0; i < 5; i++ {
+		send() // overflows the cap-2 queue on the first hop
+	}
+	nw.Engine().At(0.3, func() { drop = true; send() })
+	nw.Engine().At(0.5, func() {
+		inj.Inject(packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{Seq: 7}, 1000), AToB)
+	})
+	nw.Engine().At(0.6, func() { send() })
+	nw.FailLink(links[2], 0.62) // catches traffic queued on the last hop
+	nw.RunUntil(10)
+
+	for li, l := range links {
+		for _, dir := range []Direction{AToB, BToA} {
+			s := l.Stats(dir)
+			q, w, h := l.Occupancy(dir)
+			if q != 0 || w != 0 || h != 0 {
+				t.Fatalf("link %d dir %d not drained: (%d,%d,%d)", li, dir, q, w, h)
+			}
+			if s.Sent != s.Delivered+s.QueueDrop+s.DownDrop {
+				t.Fatalf("link %d dir %d: Sent=%d != Delivered=%d+QueueDrop=%d+DownDrop=%d",
+					li, dir, s.Sent, s.Delivered, s.QueueDrop, s.DownDrop)
+			}
+			if s.Offered+s.Injected != s.TapDrop+s.Sent {
+				t.Fatalf("link %d dir %d: Offered=%d+Injected=%d != TapDrop=%d+Sent=%d",
+					li, dir, s.Offered, s.Injected, s.TapDrop, s.Sent)
+			}
+		}
+	}
+	// The injected packet is visible in the middle link's counters.
+	if s := links[1].Stats(AToB); s.Injected != 1 || s.TapDrop != 1 {
+		t.Fatalf("middle link stats = %+v, want Injected=1 TapDrop=1", s)
+	}
+}

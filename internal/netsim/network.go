@@ -20,6 +20,7 @@ type Network struct {
 	byAddr        map[packet.Addr]*Node
 	nextID        uint64
 	onDrop        DropHandler
+	linkProbe     LinkProbe
 	routerIP      uint32
 	announcements []announcement
 }
@@ -49,6 +50,18 @@ func (nw *Network) OnDrop(h DropHandler) { nw.onDrop = h }
 func (nw *Network) notifyDrop(p *packet.Packet, l *Link, dir Direction) {
 	if nw.onDrop != nil {
 		nw.onDrop(nw.eng.Now(), p, l, dir)
+	}
+}
+
+// SetLinkProbe installs a network-wide observer of link events (at most
+// one; nil removes it). The probe is the hook internal/audit attaches its
+// invariant checker and event tracer to; with no probe installed the only
+// per-event cost is a nil check.
+func (nw *Network) SetLinkProbe(p LinkProbe) { nw.linkProbe = p }
+
+func (nw *Network) probeLink(kind LinkEventKind, l *Link, dir Direction, p *packet.Packet) {
+	if nw.linkProbe != nil {
+		nw.linkProbe(nw.eng.Now(), kind, l, dir, p)
 	}
 }
 
@@ -100,7 +113,7 @@ func (nw *Network) Connect(a, b *Node, rateBps, delay float64, queueCap int) *Li
 	if a.net != nw || b.net != nw {
 		panic("netsim: connecting foreign nodes")
 	}
-	l := &Link{net: nw, a: a, b: b, RateBps: rateBps, Delay: delay, QueueCap: queueCap, up: true}
+	l := &Link{net: nw, a: a, b: b, idx: len(nw.links), RateBps: rateBps, Delay: delay, QueueCap: queueCap, up: true}
 	nw.links = append(nw.links, l)
 	a.links = append(a.links, l)
 	b.links = append(b.links, l)
@@ -189,7 +202,9 @@ func (nw *Network) ComputeRoutes() {
 }
 
 // FailLink schedules the link between nodes a and b to go down at time t —
-// the ground-truth outage events the Blink experiments use.
+// the ground-truth outage events the Blink experiments use. The failure
+// flushes both direction queues (see Link.SetUp); only packets already on
+// the wire at t are still delivered.
 func (nw *Network) FailLink(l *Link, t float64) {
 	nw.eng.At(t, func() { l.SetUp(false) })
 }

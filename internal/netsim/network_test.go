@@ -2,16 +2,29 @@ package netsim
 
 import (
 	"math"
+	"os"
 	"testing"
 
 	"dui/internal/packet"
 	"dui/internal/stats"
 )
 
+// auditEnv mirrors audit.Enabled (netsim cannot import internal/audit —
+// the dependency runs the other way): DUI_AUDIT=1 turns the engine's
+// causality audit on for every test network.
+func auditEnv() bool {
+	switch os.Getenv("DUI_AUDIT") {
+	case "", "0", "false", "off", "no":
+		return false
+	}
+	return true
+}
+
 // lineNet builds h1 -- r1 -- r2 -- h2 with the given link parameters and
 // computed routes.
 func lineNet(rateBps, delay float64, qcap int) (*Network, *Node, *Node, []*Link) {
 	nw := New()
+	nw.Engine().SetAudit(auditEnv())
 	h1 := nw.AddHost("h1", packet.MustParseAddr("10.0.0.1"))
 	r1 := nw.AddRouter("r1")
 	r2 := nw.AddRouter("r2")
