@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race audit bench bench-smoke report
+.PHONY: check vet build test race audit bench bench-smoke fuzz-smoke report
 
 ## check: the full gate — vet, build, race-enabled tests.
 check: vet build race
@@ -31,6 +31,13 @@ bench:
 ## bench-smoke: the fast substrate subset CI runs on every push.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=Substrate -benchtime=100x -benchmem .
+
+## fuzz-smoke: a race-enabled 200-seed scenario-fuzzing campaign with
+## shrinking plus a replay of the committed reproducer corpus — the
+## audit-oracle campaign CI runs on every push (seconds, deterministic).
+fuzz-smoke:
+	$(GO) run -race ./cmd/simfuzz -seeds 200 -shrink
+	$(GO) run -race ./cmd/simfuzz -replay internal/fuzz/testdata/corpus
 
 ## report: regenerate the full reproduction report on all cores.
 report:

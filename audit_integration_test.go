@@ -46,7 +46,7 @@ func TestFig2AuditedTraceParity(t *testing.T) {
 // experiment's real scale. It only runs under DUI_AUDIT=1 (`make audit`),
 // keeping the default suite fast.
 func TestFig2AuditedTraceParityFullScale(t *testing.T) {
-	if !audit.Enabled() {
+	if !audit.EnabledFromEnv() {
 		t.Skip("set DUI_AUDIT=1 to run the full-scale audited parity check")
 	}
 	cfg := Fig2Config{Runs: 10, Duration: 250, LegitFlows: 1000, MeanFlowDuration: 8}

@@ -35,7 +35,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "trial workers (0 = all cores; results identical at any setting)")
 		progress = flag.Bool("progress", false, "report per-trial progress on stderr")
 		trace    = flag.String("trace", "", "write the per-trial selector event trace (JSONL) to this file; diff two runs with cmd/simtrace")
-		audited  = flag.Bool("audit", audit.Enabled(), "check selector invariants on every trial (defaults to DUI_AUDIT)")
+		audited  = flag.Bool("audit", audit.EnabledFromEnv(), "check selector invariants on every trial (defaults to DUI_AUDIT)")
 	)
 	flag.Parse()
 	defer prof.Start()()

@@ -1,0 +1,143 @@
+// Command simfuzz runs the property-based fuzzing campaign over random
+// simulation scenarios (internal/fuzz): each seed becomes a randomized
+// topology with heterogeneous links, heavy-tailed workloads, scheduled
+// failures, MitM taps, and optional Blink deployments, executed twice
+// under the full audit-oracle stack. Failures are shrunk to minimal
+// reproducers and optionally written to a corpus directory.
+//
+// Usage:
+//
+//	simfuzz [-seeds N] [-seed S] [-parallel W] [-budget D] [-shrink]
+//	        [-corpus DIR] [-max-nodes N] [-quiet]
+//	simfuzz -replay DIR
+//
+// The campaign verdict is a pure function of (-seed, -seeds): any
+// -parallel value finds the same failures (a -budget cutoff is the one
+// wall-clock-dependent exception, reported as skipped trials). -replay
+// re-checks every corpus entry in DIR against current code instead of
+// fuzzing.
+//
+// Exit status 0 when all scenarios (or corpus entries) pass, 1 when the
+// oracles caught failures, 2 on usage or internal errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dui/internal/fuzz"
+	"dui/internal/runner"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 200, "number of random scenarios to run")
+	seed := flag.Uint64("seed", 1, "root seed (expands into per-scenario seeds)")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	budget := flag.Duration("budget", 0, "wall-time budget; stops handing out new trials when exceeded (0 = none)")
+	shrink := flag.Bool("shrink", false, "shrink each failure to a minimal reproducer")
+	corpus := flag.String("corpus", "", "directory to write failure reproducers to")
+	maxNodes := flag.Int("max-nodes", 0, "topology size cap for generated scenarios (0 = default)")
+	replay := flag.String("replay", "", "replay corpus entries from this directory instead of fuzzing")
+	quiet := flag.Bool("quiet", false, "suppress per-failure and progress output; only the final summary")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simfuzz [-seeds N] [-seed S] [-parallel W] [-budget D] [-shrink] [-corpus DIR] [-max-nodes N] [-quiet]\n")
+		fmt.Fprintf(os.Stderr, "       simfuzz -replay DIR\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *replay != "" {
+		os.Exit(replayCorpus(*replay, *quiet))
+	}
+
+	var log io.Writer = os.Stdout
+	if *quiet {
+		log = nil
+	}
+	res, err := fuzz.Run(context.Background(), fuzz.Config{
+		Seeds:    *seeds,
+		RootSeed: *seed,
+		Workers:  *parallel,
+		Budget:   *budget,
+		Shrink:   *shrink,
+		Gen:      fuzz.GenConfig{MaxNodes: *maxNodes},
+		Log:      log,
+		OnProgress: func(p runner.Progress) {
+			if *quiet || p.Done%50 != 0 && p.Done != p.Total {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "simfuzz: %d/%d trials, %.0fs virtual in %s\n",
+				p.Done, p.Total, p.VirtualSeconds, p.Elapsed.Round(time.Millisecond))
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simfuzz: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *corpus != "" {
+		for i := range res.Failures {
+			f := &res.Failures[i]
+			scn := f.Scenario
+			if f.Shrunk != nil {
+				scn = f.Shrunk.Clone()
+			}
+			e := &fuzz.Entry{
+				Name:     fmt.Sprintf("seed-%016x", f.Seed),
+				Rule:     f.Rule,
+				Note:     fmt.Sprintf("found by simfuzz -seed %d (trial %d): %s", *seed, f.TrialIndex, f.Violations[0].Error()),
+				Scenario: scn,
+			}
+			path, err := fuzz.SaveEntry(*corpus, e)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simfuzz: %v\n", err)
+				os.Exit(2)
+			}
+			if !*quiet {
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+	}
+
+	ran := res.Trials - res.Skipped
+	fmt.Printf("simfuzz: %d/%d scenarios run, %d failures", ran, res.Trials, len(res.Failures))
+	if res.Skipped > 0 {
+		fmt.Printf(" (%d skipped: budget exhausted)", res.Skipped)
+	}
+	fmt.Println()
+	if len(res.Failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// replayCorpus re-validates every persisted reproducer, returning the
+// process exit code.
+func replayCorpus(dir string, quiet bool) int {
+	entries, err := fuzz.LoadCorpus(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simfuzz: %v\n", err)
+		return 2
+	}
+	failed := 0
+	for _, e := range entries {
+		if err := fuzz.Replay(e); err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "simfuzz: %v\n", err)
+		} else if !quiet {
+			fmt.Printf("ok %s (rule %s)\n", e.Name, e.Rule)
+		}
+	}
+	fmt.Printf("simfuzz: %d corpus entries, %d failed\n", len(entries), failed)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

@@ -6,10 +6,12 @@
 //
 // Usage:
 //
-//	simtrace [-context N] A.jsonl B.jsonl
+//	simtrace [-context N] [-quiet] A.jsonl B.jsonl
 //
 // Exit status 0 when the traces are identical, 1 on divergence, 2 on
-// usage or read errors.
+// usage or read errors. With -quiet nothing is printed on stdout and the
+// exit status alone carries the verdict — for use in scripts and CI steps
+// that only branch on it.
 package main
 
 import (
@@ -22,8 +24,9 @@ import (
 
 func main() {
 	ctxN := flag.Int("context", 3, "events of context to print around the divergence")
+	quiet := flag.Bool("quiet", false, "print nothing; report the verdict via the exit status only")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: simtrace [-context N] A.jsonl B.jsonl\n")
+		fmt.Fprintf(os.Stderr, "usage: simtrace [-context N] [-quiet] A.jsonl B.jsonl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,8 +39,13 @@ func main() {
 
 	idx, diverged := audit.Diff(a, b)
 	if !diverged {
-		fmt.Printf("identical: %d events\n", len(a))
+		if !*quiet {
+			fmt.Printf("identical: %d events\n", len(a))
+		}
 		return
+	}
+	if *quiet {
+		os.Exit(1)
 	}
 	fmt.Printf("traces diverge at event #%d (%s: %d events, %s: %d events)\n\n",
 		idx, flag.Arg(0), len(a), flag.Arg(1), len(b))

@@ -22,16 +22,63 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 )
 
-// Enabled reports whether DUI_AUDIT requests audit instrumentation.
-// Unset, "0", "false", "off", and "no" mean off; anything else means on.
-func Enabled() bool {
-	switch os.Getenv("DUI_AUDIT") {
-	case "", "0", "false", "off", "no":
-		return false
+// EnabledFromEnv reports whether the DUI_AUDIT environment variable turns
+// audit instrumentation on: "1", "true", "yes", and "on" (any case) enable
+// it; anything else — including unset — leaves it off. Every DUI_AUDIT
+// consumer (test suites, cmd flag defaults) goes through this one parser.
+func EnabledFromEnv() bool {
+	switch strings.ToLower(os.Getenv("DUI_AUDIT")) {
+	case "1", "true", "yes", "on":
+		return true
 	}
-	return true
+	return false
+}
+
+// Violation is one invariant failure with the structured context the
+// fuzzing shrinker keys on: Rule identifies the broken invariant (stable
+// across shrink candidates — a shrink step is only accepted when the same
+// rule still fires), T and Where localize it, and Detail carries the
+// human-readable specifics. A Violation is an error, so existing
+// errors.Join-based reporting is unchanged.
+type Violation struct {
+	T      float64 `json:"t"`
+	Rule   string  `json:"rule"`
+	Where  string  `json:"where,omitempty"`
+	Detail string  `json:"detail"`
+}
+
+// Rule names used by the checkers in this package. Scenario-level oracles
+// (internal/scenario) define further rules on top of these.
+const (
+	RuleOccupancy        = "occupancy"           // negative queued/onWire/tapHeld
+	RuleQueueCap         = "queue-cap"           // drop-tail queue over capacity
+	RuleQueueSurvives    = "queue-survives-down" // queued packets outlived a link failure
+	RuleLinkConservation = "link-conservation"   // Sent != Delivered+drops+occupancy
+	RuleSendConservation = "send-conservation"   // Offered+Injected != TapDrop+held+Sent
+	RuleShadowMismatch   = "shadow-mismatch"     // LinkStats disagree with observed events
+	RuleNotDrained       = "not-drained"         // occupancy left at drain time
+	RuleSelector         = "selector-state"      // Blink selector invariant broken
+)
+
+// Error implements error.
+func (v Violation) Error() string {
+	var b strings.Builder
+	b.WriteString("audit: [")
+	b.WriteString(v.Rule)
+	b.WriteString("]")
+	if v.T != 0 || v.Where != "" {
+		fmt.Fprintf(&b, " t=%.9g", v.T)
+	}
+	if v.Where != "" {
+		b.WriteString(" ")
+		b.WriteString(v.Where)
+	}
+	b.WriteString(": ")
+	b.WriteString(v.Detail)
+	return b.String()
 }
 
 // maxViolations bounds how many violations a checker accumulates; a broken
@@ -43,27 +90,33 @@ const maxViolations = 32
 // so a single root cause reports its earliest manifestations rather than
 // panicking on the first.
 type violations struct {
-	errs      []error
+	list      []Violation
 	truncated int
 }
 
-func (v *violations) addf(format string, args ...any) {
-	if len(v.errs) >= maxViolations {
+func (v *violations) add(t float64, rule, where, format string, args ...any) {
+	if len(v.list) >= maxViolations {
 		v.truncated++
 		return
 	}
-	v.errs = append(v.errs, fmt.Errorf("audit: "+format, args...))
+	v.list = append(v.list, Violation{T: t, Rule: rule, Where: where, Detail: fmt.Sprintf(format, args...)})
 }
+
+// all returns the collected violations (shared backing array; callers must
+// not mutate).
+func (v *violations) all() []Violation { return v.list }
 
 // err joins the collected violations into one error, nil if none.
 func (v *violations) err() error {
-	if len(v.errs) == 0 {
+	if len(v.list) == 0 {
 		return nil
 	}
-	errs := v.errs
+	errs := make([]error, 0, len(v.list)+1)
+	for _, vi := range v.list {
+		errs = append(errs, vi)
+	}
 	if v.truncated > 0 {
-		errs = append(append([]error{}, errs...),
-			fmt.Errorf("audit: %d further violations suppressed", v.truncated))
+		errs = append(errs, fmt.Errorf("audit: %d further violations suppressed", v.truncated))
 	}
 	return errors.Join(errs...)
 }

@@ -2,6 +2,7 @@ package audit
 
 import (
 	"math"
+	"strconv"
 
 	"dui/internal/blink"
 	"dui/internal/packet"
@@ -19,8 +20,8 @@ type MonAudit struct {
 
 // AttachMonitor installs tracing (when rec is non-nil) and continuous
 // residence checks on m via its OnSample/OnEvict/OnRetrans/OnFailure
-// callbacks. It claims those callback slots, so attach only to monitors
-// the experiment does not observe itself (RunFig2's trial monitors).
+// callbacks. Monitor callbacks accumulate, so the auditor coexists with a
+// reroute pipeline or an experiment observer on the same monitor.
 func AttachMonitor(m *blink.Monitor, rec *Recorder) *MonAudit {
 	a := &MonAudit{m: m, rec: rec}
 	m.OnSample(func(now float64, key packet.FlowKey, cell int) {
@@ -30,7 +31,7 @@ func AttachMonitor(m *blink.Monitor, rec *Recorder) *MonAudit {
 	})
 	m.OnEvict(func(ev blink.Eviction) {
 		if ev.Residence < 0 || math.IsNaN(ev.Residence) {
-			a.v.addf("t=%.9g cell %d: eviction before sampling (residence %g)", ev.Now, ev.Cell, ev.Residence)
+			a.v.add(ev.Now, RuleSelector, cellName(ev.Cell), "eviction before sampling (residence %g)", ev.Residence)
 		}
 		if a.rec != nil {
 			k := KindEvict
@@ -53,6 +54,8 @@ func AttachMonitor(m *blink.Monitor, rec *Recorder) *MonAudit {
 	return a
 }
 
+func cellName(i int) string { return "cell " + strconv.Itoa(i) }
+
 // Check verifies the selector's structural invariants at virtual time now
 // (now must be >= the monitor's last Feed time) and returns them joined
 // with any violations the continuous hooks collected:
@@ -69,51 +72,55 @@ func (a *MonAudit) Check(now float64) error {
 	cfg := a.m.Config()
 	cells := a.m.Cells()
 	if len(cells) != cfg.Cells {
-		a.v.addf("selector has %d cells, config says %d", len(cells), cfg.Cells)
+		a.v.add(now, RuleSelector, "", "selector has %d cells, config says %d", len(cells), cfg.Cells)
 	}
 	occupied, counted := 0, 0
 	minCounted := math.Inf(1)
 	for i, c := range cells {
 		if !c.Occupied {
 			if c.Counted() {
-				a.v.addf("cell %d: counted but unoccupied", i)
+				a.v.add(now, RuleSelector, cellName(i), "counted but unoccupied")
 			}
 			continue
 		}
 		occupied++
 		if c.LastSeen > now {
-			a.v.addf("cell %d: LastSeen %.9g after the audit time %.9g", i, c.LastSeen, now)
+			a.v.add(now, RuleSelector, cellName(i), "LastSeen %.9g after the audit time %.9g", c.LastSeen, now)
 		}
 		if c.LastSeen < c.SampledAt {
-			a.v.addf("cell %d: LastSeen %.9g before SampledAt %.9g", i, c.LastSeen, c.SampledAt)
+			a.v.add(now, RuleSelector, cellName(i), "LastSeen %.9g before SampledAt %.9g", c.LastSeen, c.SampledAt)
 		}
 		if c.HasRetr() && (c.LastRetr < c.SampledAt || c.LastRetr > c.LastSeen) {
-			a.v.addf("cell %d: LastRetr %.9g outside [SampledAt %.9g, LastSeen %.9g]", i, c.LastRetr, c.SampledAt, c.LastSeen)
+			a.v.add(now, RuleSelector, cellName(i), "LastRetr %.9g outside [SampledAt %.9g, LastSeen %.9g]", c.LastRetr, c.SampledAt, c.LastSeen)
 		}
 		if c.Counted() {
 			if !c.HasRetr() {
-				a.v.addf("cell %d: counted without a retransmission", i)
+				a.v.add(now, RuleSelector, cellName(i), "counted without a retransmission")
 			}
 			counted++
 			if c.LastRetr < minCounted {
 				minCounted = c.LastRetr
 			}
 		} else if c.HasRetr() && now-c.LastRetr <= cfg.Window {
-			a.v.addf("cell %d: in-window retransmission (LastRetr %.9g, now %.9g) not counted", i, c.LastRetr, now)
+			a.v.add(now, RuleSelector, cellName(i), "in-window retransmission (LastRetr %.9g, now %.9g) not counted", c.LastRetr, now)
 		}
 	}
 	if occupied > cfg.Cells {
-		a.v.addf("%d occupied cells exceed the %d-cell selector", occupied, cfg.Cells)
+		a.v.add(now, RuleSelector, "", "%d occupied cells exceed the %d-cell selector", occupied, cfg.Cells)
 	}
 	count, minLastRetr := a.m.AuditWindowState()
 	if count != counted {
-		a.v.addf("incremental retransmission count %d != %d counted cells", count, counted)
+		a.v.add(now, RuleSelector, "", "incremental retransmission count %d != %d counted cells", count, counted)
 	}
 	if counted > 0 && minLastRetr > minCounted {
-		a.v.addf("minLastRetr %.9g above the true counted minimum %.9g (bound must be conservative)", minLastRetr, minCounted)
+		a.v.add(now, RuleSelector, "", "minLastRetr %.9g above the true counted minimum %.9g (bound must be conservative)", minLastRetr, minCounted)
 	}
 	return a.v.err()
 }
 
 // Err returns violations collected by the continuous hooks so far.
 func (a *MonAudit) Err() error { return a.v.err() }
+
+// Violations returns the structured violations collected so far (shared
+// backing array; callers must not mutate).
+func (a *MonAudit) Violations() []Violation { return a.v.all() }

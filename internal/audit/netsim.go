@@ -89,27 +89,27 @@ func (a *NetAudit) checkLinkDir(now float64, l *netsim.Link, dir netsim.Directio
 	queued, onWire, held := l.Occupancy(dir)
 	where := linkName(l, dir)
 	if queued < 0 || onWire < 0 || held < 0 {
-		a.v.addf("t=%.9g %s: negative occupancy (queued=%d onWire=%d tapHeld=%d)", now, where, queued, onWire, held)
+		a.v.add(now, RuleOccupancy, where, "negative occupancy (queued=%d onWire=%d tapHeld=%d)", queued, onWire, held)
 	}
 	if l.QueueCap > 0 && queued > l.QueueCap {
-		a.v.addf("t=%.9g %s: queue over capacity (%d > %d)", now, where, queued, l.QueueCap)
+		a.v.add(now, RuleQueueCap, where, "queue over capacity (%d > %d)", queued, l.QueueCap)
 	}
 	if !l.Up() && queued > 0 {
-		a.v.addf("t=%.9g %s: %d queued packets surviving a link failure", now, where, queued)
+		a.v.add(now, RuleQueueSurvives, where, "%d queued packets surviving a link failure", queued)
 	}
 	if st.Sent != st.Delivered+st.QueueDrop+st.DownDrop+uint64(queued)+uint64(onWire) {
-		a.v.addf("t=%.9g %s: link conservation broken: Sent=%d != Delivered=%d + QueueDrop=%d + DownDrop=%d + queued=%d + onWire=%d",
-			now, where, st.Sent, st.Delivered, st.QueueDrop, st.DownDrop, queued, onWire)
+		a.v.add(now, RuleLinkConservation, where, "link conservation broken: Sent=%d != Delivered=%d + QueueDrop=%d + DownDrop=%d + queued=%d + onWire=%d",
+			st.Sent, st.Delivered, st.QueueDrop, st.DownDrop, queued, onWire)
 	}
 	if st.Offered+st.Injected != st.TapDrop+uint64(held)+st.Sent {
-		a.v.addf("t=%.9g %s: send-layer conservation broken: Offered=%d + Injected=%d != TapDrop=%d + tapHeld=%d + Sent=%d",
-			now, where, st.Offered, st.Injected, st.TapDrop, held, st.Sent)
+		a.v.add(now, RuleSendConservation, where, "send-layer conservation broken: Offered=%d + Injected=%d != TapDrop=%d + tapHeld=%d + Sent=%d",
+			st.Offered, st.Injected, st.TapDrop, held, st.Sent)
 	}
 	if sc != nil {
 		if sc.sent != st.Sent || sc.delivered != st.Delivered || sc.queuedrop != st.QueueDrop ||
 			sc.tapdrop != st.TapDrop || sc.downdrop+sc.faildrop != st.DownDrop {
-			a.v.addf("t=%.9g %s: stats disagree with observed events: stats=%+v events={sent:%d delivered:%d queuedrop:%d downdrop:%d+%d tapdrop:%d}",
-				now, where, st, sc.sent, sc.delivered, sc.queuedrop, sc.downdrop, sc.faildrop, sc.tapdrop)
+			a.v.add(now, RuleShadowMismatch, where, "stats disagree with observed events: stats=%+v events={sent:%d delivered:%d queuedrop:%d downdrop:%d+%d tapdrop:%d}",
+				st, sc.sent, sc.delivered, sc.queuedrop, sc.downdrop, sc.faildrop, sc.tapdrop)
 		}
 	}
 }
@@ -135,8 +135,8 @@ func (a *NetAudit) CheckDrained() error {
 	for _, l := range a.nw.Links() {
 		for _, dir := range []netsim.Direction{netsim.AToB, netsim.BToA} {
 			if queued, onWire, held := l.Occupancy(dir); queued != 0 || onWire != 0 || held != 0 {
-				a.v.addf("t=%.9g %s: not drained (queued=%d onWire=%d tapHeld=%d)",
-					now, linkName(l, dir), queued, onWire, held)
+				a.v.add(now, RuleNotDrained, linkName(l, dir), "not drained (queued=%d onWire=%d tapHeld=%d)",
+					queued, onWire, held)
 			}
 		}
 	}
@@ -145,6 +145,11 @@ func (a *NetAudit) CheckDrained() error {
 
 // Err returns the violations collected so far without re-checking.
 func (a *NetAudit) Err() error { return a.v.err() }
+
+// Violations returns the structured violations collected so far, in
+// detection order — the form the fuzzing shrinker consumes. The slice
+// shares the auditor's backing array; callers must not mutate it.
+func (a *NetAudit) Violations() []Violation { return a.v.all() }
 
 func linkName(l *netsim.Link, dir netsim.Direction) string {
 	na, nb := l.Nodes()

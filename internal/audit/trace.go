@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Kind labels one traced event. Link events use the netsim probe names
@@ -131,6 +132,35 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// Hash folds an event sequence into one FNV-1a-style 64-bit digest. Two
+// traces hash equal iff (up to 64-bit collision) they are element-wise
+// identical, which is how the fuzzer's determinism oracle compares a
+// scenario's double run without retaining both traces.
+func Hash(events []Event) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	for _, ev := range events {
+		mix(math.Float64bits(ev.T))
+		for _, c := range []byte(ev.Kind) {
+			h ^= uint64(c)
+			h *= prime64
+		}
+		mix(uint64(ev.Where))
+		mix(ev.Flow)
+	}
+	return h
 }
 
 // Diff returns the index of the first event where the two traces diverge

@@ -125,10 +125,10 @@ type Monitor struct {
 	retrCount   int
 	minLastRetr float64
 
-	onFailure func(now float64)
-	onRetrans func(RetransEvent)
-	onEvict   func(Eviction)
-	onSample  func(now float64, key packet.FlowKey, cell int)
+	onFailure []func(now float64)
+	onRetrans []func(RetransEvent)
+	onEvict   []func(Eviction)
+	onSample  []func(now float64, key packet.FlowKey, cell int)
 
 	failures []float64
 }
@@ -147,18 +147,24 @@ func NewMonitor(cfg Config) *Monitor {
 // Config returns the effective configuration.
 func (m *Monitor) Config() Config { return m.cfg }
 
-// OnFailure registers the failure-inference callback (at most one).
-func (m *Monitor) OnFailure(f func(now float64)) { m.onFailure = f }
+// OnFailure registers a failure-inference callback. Callbacks accumulate
+// and run in registration order, so a reroute pipeline and an audit tracer
+// can observe the same monitor.
+func (m *Monitor) OnFailure(f func(now float64)) { m.onFailure = append(m.onFailure, f) }
 
-// OnRetrans registers a retransmission observer.
-func (m *Monitor) OnRetrans(f func(RetransEvent)) { m.onRetrans = f }
+// OnRetrans registers a retransmission observer (callbacks accumulate).
+func (m *Monitor) OnRetrans(f func(RetransEvent)) { m.onRetrans = append(m.onRetrans, f) }
 
-// OnEvict registers an eviction observer (tR measurement).
-func (m *Monitor) OnEvict(f func(Eviction)) { m.onEvict = f }
+// OnEvict registers an eviction observer (tR measurement; callbacks
+// accumulate).
+func (m *Monitor) OnEvict(f func(Eviction)) { m.onEvict = append(m.onEvict, f) }
 
 // OnSample registers an observer of cell occupations — the counterpart of
-// OnEvict, used by the audit event tracer to record every residence.
-func (m *Monitor) OnSample(f func(now float64, key packet.FlowKey, cell int)) { m.onSample = f }
+// OnEvict, used by the audit event tracer to record every residence
+// (callbacks accumulate).
+func (m *Monitor) OnSample(f func(now float64, key packet.FlowKey, cell int)) {
+	m.onSample = append(m.onSample, f)
+}
 
 // AuditWindowState exposes the incremental failure-inference counters for
 // the invariant checker (internal/audit): the number of cells currently
@@ -228,8 +234,8 @@ func (m *Monitor) Feed(now float64, p *packet.Packet) {
 
 func (m *Monitor) sample(c *Cell, idx int, key packet.FlowKey, now float64) {
 	*c = Cell{Occupied: true, Key: key, SampledAt: now, LastSeen: now}
-	if m.onSample != nil {
-		m.onSample(now, key, idx)
+	for _, f := range m.onSample {
+		f(now, key, idx)
 	}
 }
 
@@ -242,8 +248,8 @@ func (m *Monitor) update(c *Cell, idx int, p *packet.Packet, now float64) {
 		c.LastRetr = now
 		c.hasRetr = true
 		c.prevPktGap = gap
-		if m.onRetrans != nil {
-			m.onRetrans(RetransEvent{Now: now, Key: c.Key, Cell: idx, Gap: gap})
+		for _, f := range m.onRetrans {
+			f(RetransEvent{Now: now, Key: c.Key, Cell: idx, Gap: gap})
 		}
 		m.noteRetrans(c, now)
 	} else if isData {
@@ -278,8 +284,8 @@ func (m *Monitor) noteRetrans(c *Cell, now float64) {
 	if m.armed && m.retrCount >= m.cfg.Threshold {
 		m.armed = false // one inference per sample epoch
 		m.failures = append(m.failures, now)
-		if m.onFailure != nil {
-			m.onFailure(now)
+		for _, f := range m.onFailure {
+			f(now)
 		}
 	}
 }
@@ -305,8 +311,10 @@ func (m *Monitor) recount(now float64) {
 }
 
 func (m *Monitor) evict(c *Cell, idx int, now float64, reset bool) {
-	if m.onEvict != nil && c.Occupied {
-		m.onEvict(Eviction{Now: now, Key: c.Key, Cell: idx, Residence: now - c.SampledAt, Reset: reset})
+	if c.Occupied {
+		for _, f := range m.onEvict {
+			f(Eviction{Now: now, Key: c.Key, Cell: idx, Residence: now - c.SampledAt, Reset: reset})
+		}
 	}
 	if c.counted {
 		m.retrCount--

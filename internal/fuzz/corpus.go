@@ -1,0 +1,122 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dui/internal/netsim"
+	"dui/internal/scenario"
+)
+
+// Entry is one persisted reproducer. Committed entries under
+// testdata/corpus/ encode regressions: the scenario must replay clean on
+// current code, and — when Hook names a netsim debug hook — must violate
+// Rule again with the historical bug re-introduced, proving the oracle
+// stack still catches that bug class. Freshly found failures are written
+// with an empty Hook and the rule they currently violate; once the bug is
+// fixed, the entry is committed and replays clean forever after.
+type Entry struct {
+	Name string `json:"name"`
+	// Rule is the oracle rule this entry reproduces.
+	Rule string `json:"rule"`
+	// Hook optionally names the netsim.DebugHooks switch that
+	// re-introduces the bug (see HookNames).
+	Hook string `json:"hook,omitempty"`
+	// Note records provenance (the bug, fix, or fuzzing campaign).
+	Note     string            `json:"note,omitempty"`
+	Scenario scenario.Scenario `json:"scenario"`
+}
+
+// HookNames maps corpus hook names onto netsim.DebugHooks switches.
+var HookNames = map[string]*bool{
+	"disable-failure-flush":   &netsim.DebugHooks.DisableFailureFlush,
+	"tap-chain-short-circuit": &netsim.DebugHooks.TapChainShortCircuit,
+	"skip-injected-count":     &netsim.DebugHooks.SkipInjectedCount,
+}
+
+// SetHook flips the named debug hook. An empty name is a no-op; an
+// unknown name is an error.
+func SetHook(name string, on bool) error {
+	if name == "" {
+		return nil
+	}
+	h, ok := HookNames[name]
+	if !ok {
+		return fmt.Errorf("fuzz: unknown debug hook %q", name)
+	}
+	*h = on
+	return nil
+}
+
+// SaveEntry writes e as <dir>/<name>.json (directories are created) and
+// returns the path.
+func SaveEntry(dir string, e *Entry) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, e.Name+".json")
+	return path, os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadCorpus reads every *.json entry under dir, sorted by file name for
+// a stable replay order. A missing directory is an empty corpus.
+func LoadCorpus(dir string) ([]*Entry, error) {
+	des, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".json") {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []*Entry
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var e Entry
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("corpus %s: %w", name, err)
+		}
+		out = append(out, &e)
+	}
+	return out, nil
+}
+
+// Replay checks one corpus entry on current code: the scenario must run
+// clean, and with the entry's hook enabled (if any) the entry's rule must
+// fire. It returns nil when both hold.
+func Replay(e *Entry) error {
+	s := e.Scenario.Clone()
+	if rep := scenario.RunChecked(&s, scenario.Options{}); rep.Failed() {
+		return fmt.Errorf("corpus %s: violates %v on current code (regressed?)", e.Name, rep.Rules())
+	}
+	if e.Hook == "" {
+		return nil
+	}
+	if err := SetHook(e.Hook, true); err != nil {
+		return err
+	}
+	defer func() { _ = SetHook(e.Hook, false) }()
+	rep := scenario.Run(&s, scenario.Options{})
+	if !rep.HasRule(e.Rule) {
+		return fmt.Errorf("corpus %s: hook %s no longer triggers rule %s (oracle weakened? got %v)",
+			e.Name, e.Hook, e.Rule, rep.Rules())
+	}
+	return nil
+}

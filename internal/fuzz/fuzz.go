@@ -1,0 +1,138 @@
+package fuzz
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"dui/internal/audit"
+	"dui/internal/runner"
+	"dui/internal/scenario"
+)
+
+// Config tunes one fuzzing campaign.
+type Config struct {
+	// Seeds is how many scenarios to draw and run.
+	Seeds int
+	// RootSeed expands into the per-trial scenario seeds (SplitMix64, via
+	// the runner); trial i's scenario depends only on (RootSeed, i).
+	RootSeed uint64
+	// Workers bounds the trial pool (<= 0: GOMAXPROCS). The campaign's
+	// verdict is worker-count-independent; only wall time changes.
+	Workers int
+	// Budget, when positive, stops handing out new trials after this much
+	// wall time. Trials already running finish. A budget-stopped campaign
+	// reports which trials were skipped — skipping is the one
+	// wall-clock-dependent (and therefore worker-count-dependent) effect.
+	Budget time.Duration
+	// Shrink minimizes every failure to a minimal reproducer.
+	Shrink bool
+	// ShrinkBudget caps candidate runs per failure (0: a sane default).
+	ShrinkBudget int
+	// Gen bounds the scenario generator.
+	Gen GenConfig
+	// Log, when non-nil, receives one line per failure and shrink result.
+	Log io.Writer
+	// OnProgress, if non-nil, observes trial completion.
+	OnProgress func(runner.Progress)
+}
+
+// Failure is one fuzzing find: the generated scenario, the violated
+// rules, and (when shrinking ran) the minimal reproducer.
+type Failure struct {
+	// TrialIndex and Seed identify the find independently of worker
+	// count; re-running the campaign with the same RootSeed reproduces it
+	// at the same index.
+	TrialIndex int
+	Seed       uint64
+	// Rule is the primary (first) violated rule — what the shrinker
+	// preserved.
+	Rule       string
+	Violations []audit.Violation
+	Scenario   scenario.Scenario
+	// Shrunk is the minimal reproducer (nil when shrinking was off).
+	Shrunk *scenario.Scenario
+	// ShrinkRuns counts candidate executions the shrinker spent.
+	ShrinkRuns int
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Trials   int
+	Skipped  int // trials not run (budget exhausted or canceled)
+	Failures []Failure
+}
+
+// trialOutcome is a value, never an error: returning an error from the
+// runner cancels all other workers, which would make the set of completed
+// trials — and thus the campaign verdict — depend on scheduling.
+type trialOutcome struct {
+	ran        bool
+	scn        *scenario.Scenario
+	violations []audit.Violation
+}
+
+// Run executes the campaign: every trial generates its scenario from its
+// seed and runs it (double-run, for the determinism oracle) under the
+// audit stack; failures are then shrunk sequentially in trial order.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Seeds <= 0 {
+		return &Result{}, nil
+	}
+	runCtx := ctx
+	if cfg.Budget > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, cfg.Budget)
+		defer cancel()
+	}
+	outcomes, err := runner.Run(runCtx, cfg.Seeds, cfg.RootSeed, runner.Config{
+		Workers:    cfg.Workers,
+		OnProgress: cfg.OnProgress,
+	}, func(_ context.Context, t runner.Trial) (trialOutcome, error) {
+		s := Generate(t.Seed, cfg.Gen)
+		rep := scenario.RunChecked(s, scenario.Options{})
+		t.ReportVirtual(rep.FinalTime)
+		out := trialOutcome{ran: true, scn: s}
+		if rep.Failed() {
+			out.violations = rep.Violations
+		}
+		return out, nil
+	})
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return nil, err
+	}
+
+	res := &Result{Trials: cfg.Seeds}
+	for i, out := range outcomes {
+		if !out.ran {
+			res.Skipped++
+			continue
+		}
+		if len(out.violations) == 0 {
+			continue
+		}
+		f := Failure{
+			TrialIndex: i,
+			Seed:       out.scn.Seed,
+			Rule:       out.violations[0].Rule,
+			Violations: out.violations,
+			Scenario:   out.scn.Clone(),
+		}
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "FAIL trial=%d seed=%#x rule=%s (%s): %v\n",
+				i, f.Seed, f.Rule, f.Scenario.Size(), out.violations[0])
+		}
+		if cfg.Shrink {
+			shrunk, runs := Shrink(out.scn, f.Rule, cfg.ShrinkBudget)
+			f.Shrunk = shrunk
+			f.ShrinkRuns = runs
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "  shrunk in %d runs to: %s\n", runs, shrunk.Size())
+			}
+		}
+		res.Failures = append(res.Failures, f)
+	}
+	return res, nil
+}

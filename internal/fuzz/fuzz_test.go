@@ -1,0 +1,180 @@
+package fuzz
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"dui/internal/audit"
+	"dui/internal/netsim"
+	"dui/internal/scenario"
+)
+
+func TestGeneratedScenariosAlwaysValid(t *testing.T) {
+	for seed := uint64(0); seed < 300; seed++ {
+		s := Generate(seed, GenConfig{})
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid scenario: %v", seed, err)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := Generate(42, GenConfig{})
+	b := Generate(42, GenConfig{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Generate(42) differs across calls")
+	}
+}
+
+// On current (fixed) code, a campaign must come back clean: the oracles
+// have no false positives over the generator's whole behavior space.
+func TestCampaignCleanOnCurrentCode(t *testing.T) {
+	n := 100
+	if testing.Short() {
+		n = 25
+	}
+	res, err := Run(context.Background(), Config{Seeds: n, RootSeed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) > 0 {
+		f := res.Failures[0]
+		b, _ := json.Marshal(f.Scenario)
+		t.Fatalf("clean code produced %d failures; first: seed=%#x rule=%s %v\nscenario: %s",
+			len(res.Failures), f.Seed, f.Rule, f.Violations[0], b)
+	}
+	if res.Skipped != 0 {
+		t.Fatalf("%d trials skipped without a budget", res.Skipped)
+	}
+}
+
+// The headline acceptance property: re-introducing the PR 3 link-failure
+// queue-flush bug through its test-only hook, the fuzzer finds it within
+// 500 seeds, shrinks the reproducer to at most 4 nodes and 3 flows, and
+// produces the identical verdict on every worker count and rerun.
+func TestCampaignCatchesReintroducedFlushBug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-seed campaign")
+	}
+	netsim.DebugHooks.DisableFailureFlush = true
+	defer func() { netsim.DebugHooks.DisableFailureFlush = false }()
+
+	run := func(workers int) *Result {
+		res, err := Run(context.Background(), Config{
+			Seeds: 500, RootSeed: 7, Workers: workers, Shrink: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(4)
+	var hit *Failure
+	for i := range res.Failures {
+		if res.Failures[i].Rule == audit.RuleQueueSurvives {
+			hit = &res.Failures[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("500 seeds found no %s violation (failures: %d)", audit.RuleQueueSurvives, len(res.Failures))
+	}
+	if hit.Shrunk == nil {
+		t.Fatal("no shrunk reproducer")
+	}
+	flows := 0
+	for _, w := range hit.Shrunk.Workloads {
+		flows += w.Flows
+	}
+	if len(hit.Shrunk.Nodes) > 4 || flows > 3 {
+		b, _ := json.Marshal(hit.Shrunk)
+		t.Fatalf("reproducer not minimal: %s\n%s", hit.Shrunk.Size(), b)
+	}
+	// The shrunk scenario must still reproduce on a fresh run.
+	rep := scenario.Run(hit.Shrunk, scenario.Options{})
+	if !rep.HasRule(audit.RuleQueueSurvives) {
+		t.Fatalf("shrunk reproducer does not reproduce: %v", rep.Violations)
+	}
+
+	// Worker-count independence: 1 worker and 4 workers (and a rerun)
+	// find the same failures and shrink them to the same reproducers.
+	for _, again := range []*Result{run(1), run(4)} {
+		if len(again.Failures) != len(res.Failures) {
+			t.Fatalf("failure count differs across runs: %d vs %d", len(again.Failures), len(res.Failures))
+		}
+		for i := range res.Failures {
+			a, b := &res.Failures[i], &again.Failures[i]
+			if a.TrialIndex != b.TrialIndex || a.Seed != b.Seed || a.Rule != b.Rule {
+				t.Fatalf("failure %d differs: (%d,%#x,%s) vs (%d,%#x,%s)",
+					i, a.TrialIndex, a.Seed, a.Rule, b.TrialIndex, b.Seed, b.Rule)
+			}
+			if !reflect.DeepEqual(a.Shrunk, b.Shrunk) {
+				t.Fatalf("failure %d shrunk reproducer differs across runs", i)
+			}
+		}
+	}
+}
+
+func TestShrinkPreservesRuleOnHandBuiltFailure(t *testing.T) {
+	netsim.DebugHooks.TapChainShortCircuit = true
+	defer func() { netsim.DebugHooks.TapChainShortCircuit = false }()
+	// An oversized scenario exhibiting the tap-chain bug, with plenty of
+	// irrelevant structure (a spur subtree, a second workload, a failure)
+	// for the shrinker to strip away.
+	s := &scenario.Scenario{
+		Name: "tap-chain-big", Seed: 9, Duration: 6,
+		Nodes: []scenario.NodeSpec{
+			{Name: "h0"}, {Name: "r1", Router: true}, {Name: "r2", Router: true},
+			{Name: "h3"}, {Name: "h4"}, {Name: "r5", Router: true},
+		},
+		Links: []scenario.LinkSpec{
+			{A: 0, B: 1, Delay: 0.001},
+			{A: 1, B: 2, Delay: 0.002},
+			{A: 2, B: 3, Delay: 0.001},
+			{A: 2, B: 5, Delay: 0.003},
+			{A: 5, B: 4, Delay: 0.001},
+		},
+		Workloads: []scenario.WorkloadSpec{
+			{Kind: scenario.KindLegit, From: 0, To: 3, Flows: 6, PPS: 20, Until: 5},
+			{Kind: scenario.KindLegit, From: 4, To: 0, Flows: 4, PPS: 5, Until: 5, MeanDur: 1},
+		},
+		Failures: []scenario.FailureSpec{{Link: 4, DownAt: 3, UpAt: 3.5}},
+		Taps:     []scenario.TapSpec{{Link: 1, Dir: 0, Delay: 0.2}},
+	}
+	rep := scenario.Run(s, scenario.Options{})
+	if !rep.HasRule(audit.RuleSendConservation) {
+		t.Fatalf("hand-built scenario does not exhibit the tap bug: %v", rep.Violations)
+	}
+	shrunk, runs := Shrink(s, audit.RuleSendConservation, 0)
+	if runs == 0 {
+		t.Fatal("shrinker ran no candidates")
+	}
+	got := scenario.Run(shrunk, scenario.Options{})
+	if !got.HasRule(audit.RuleSendConservation) {
+		t.Fatalf("shrunk scenario lost the violation: %v", got.Violations)
+	}
+	if len(shrunk.Nodes) >= len(s.Nodes) || len(shrunk.Workloads) >= len(s.Workloads) || len(shrunk.Failures) > 0 {
+		t.Fatalf("shrinker left irrelevant structure: %s -> %s", s.Size(), shrunk.Size())
+	}
+}
+
+func TestCorpusRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := Generate(5, GenConfig{})
+	e := &Entry{Name: "rt", Rule: audit.RuleQueueSurvives, Hook: "disable-failure-flush", Scenario: s.Clone()}
+	if _, err := SaveEntry(dir, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "rt" || got[0].Hook != e.Hook || !reflect.DeepEqual(got[0].Scenario, e.Scenario) {
+		t.Fatalf("corpus round-trip mismatch: %+v", got)
+	}
+	if err := SetHook("no-such-hook", true); err == nil {
+		t.Fatal("unknown hook accepted")
+	}
+}

@@ -1,0 +1,28 @@
+package netsim
+
+// DebugHooks re-introduces, one switch at a time, substrate bugs that were
+// found and fixed in the past, so the fuzzing oracles (internal/fuzz,
+// cmd/simfuzz) can prove they would have caught each of them and so the
+// corpus regression tests can pin that detection forever. The switches are
+// consulted only on cold paths (link failure, tap-imposed delay, MitM
+// injection) — with every field false the per-packet hot path is unchanged
+// and the zero-allocation guarantees hold.
+//
+// The hooks exist for tests only. They are process-global and not
+// synchronized; tests that set one must restore it and must not run in
+// parallel with other simulation tests.
+var DebugHooks struct {
+	// DisableFailureFlush reverts the link-failure fix: SetUp(false) no
+	// longer flushes queued/serializing packets, so a stale queue survives
+	// on a down link (caught by the audit "queue-survives-down" rule).
+	DisableFailureFlush bool
+	// TapChainShortCircuit reverts the tap-chain fix: the first delaying
+	// tap immediately schedules the packet past the rest of the chain
+	// without recording tapHeld occupancy (caught by the audit
+	// "send-conservation" rule).
+	TapChainShortCircuit bool
+	// SkipInjectedCount reverts the Injector accounting fix: injected
+	// packets enter the link uncounted in LinkStats.Injected (caught by
+	// the audit "send-conservation" rule).
+	SkipInjectedCount bool
+}

@@ -49,7 +49,9 @@ type Injector struct {
 // herself); they are counted in LinkStats.Injected as well as Sent, so the
 // send-layer conservation invariant stays checkable.
 func (in *Injector) Inject(p *packet.Packet, dir Direction) {
-	in.link.dir[dir].stats.Injected++
+	if !DebugHooks.SkipInjectedCount {
+		in.link.dir[dir].stats.Injected++
+	}
 	in.link.enqueue(p, dir)
 }
 
@@ -160,6 +162,9 @@ func (l *Link) SetUp(up bool) {
 	if up {
 		return
 	}
+	if DebugHooks.DisableFailureFlush {
+		return
+	}
 	now := l.net.eng.Now()
 	for dir := range l.dir {
 		d := &l.dir[dir]
@@ -242,6 +247,11 @@ func (l *Link) send(from *Node, p *packet.Packet) {
 		}
 		if v.Delay > 0 {
 			delay += v.Delay
+			if DebugHooks.TapChainShortCircuit {
+				pp := p
+				l.net.eng.After(delay, func() { l.enqueue(pp, dir) })
+				return
+			}
 		}
 	}
 	if delay > 0 {

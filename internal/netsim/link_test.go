@@ -1,9 +1,10 @@
-package netsim
+package netsim_test
 
 import (
 	"math"
 	"testing"
 
+	. "dui/internal/netsim"
 	"dui/internal/packet"
 )
 

@@ -23,6 +23,8 @@ type Network struct {
 	linkProbe     LinkProbe
 	routerIP      uint32
 	announcements []announcement
+	onTeardown    []func()
+	tornDown      bool
 }
 
 // New returns an empty network on a fresh engine.
@@ -198,6 +200,28 @@ func (nw *Network) ComputeRoutes() {
 			nh := nw.nodes[path[1]]
 			src.AddRoute(d.pfx, nh, nil)
 		}
+	}
+}
+
+// OnTeardown registers fn to run when the network is torn down. Multiple
+// callbacks run in registration order. Auditors use this to schedule their
+// drain-time checks at the scenario's end of life without the experiment
+// driver having to know which auditors are attached.
+func (nw *Network) OnTeardown(fn func()) {
+	nw.onTeardown = append(nw.onTeardown, fn)
+}
+
+// Teardown marks the end of the network's life and runs the registered
+// teardown callbacks, once; later calls are no-ops. The network remains
+// inspectable afterwards (stats, occupancy, topology), but a scenario
+// should not schedule further traffic.
+func (nw *Network) Teardown() {
+	if nw.tornDown {
+		return
+	}
+	nw.tornDown = true
+	for _, fn := range nw.onTeardown {
+		fn()
 	}
 }
 

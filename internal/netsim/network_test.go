@@ -1,30 +1,22 @@
-package netsim
+package netsim_test
 
 import (
 	"math"
-	"os"
 	"testing"
 
+	"dui/internal/audit"
+	. "dui/internal/netsim"
 	"dui/internal/packet"
 	"dui/internal/stats"
 )
 
-// auditEnv mirrors audit.Enabled (netsim cannot import internal/audit —
-// the dependency runs the other way): DUI_AUDIT=1 turns the engine's
-// causality audit on for every test network.
-func auditEnv() bool {
-	switch os.Getenv("DUI_AUDIT") {
-	case "", "0", "false", "off", "no":
-		return false
-	}
-	return true
-}
-
 // lineNet builds h1 -- r1 -- r2 -- h2 with the given link parameters and
-// computed routes.
+// computed routes. DUI_AUDIT (parsed by the one shared parser in
+// internal/audit) turns the engine's causality audit on for every test
+// network — the external test package exists so these tests can reach it.
 func lineNet(rateBps, delay float64, qcap int) (*Network, *Node, *Node, []*Link) {
 	nw := New()
-	nw.Engine().SetAudit(auditEnv())
+	nw.Engine().SetAudit(audit.EnabledFromEnv())
 	h1 := nw.AddHost("h1", packet.MustParseAddr("10.0.0.1"))
 	r1 := nw.AddRouter("r1")
 	r2 := nw.AddRouter("r2")

@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"dui/internal/audit"
+	"dui/internal/blink"
+	"dui/internal/netsim"
+	"dui/internal/packet"
+	"dui/internal/stats"
+	"dui/internal/trace"
+)
+
+// Built is a scenario realized on a netsim.Network with the full audit
+// stack attached: the conservation checker and event recorder on every
+// link, the selector auditor and reroute-threshold oracle on the Blink
+// pipeline (when deployed), and the drain check registered for teardown.
+type Built struct {
+	Net      *netsim.Network
+	NetAudit *audit.NetAudit
+	Recorder *audit.Recorder
+	// Pipe and MonAudit are nil when the scenario deploys no Blink.
+	Pipe     *blink.Pipeline
+	MonAudit *audit.MonAudit
+
+	scn     *Scenario
+	nodes   []*netsim.Node
+	reroute *rerouteOracle
+}
+
+// foreverDur makes legit flows outlive the workload (MeanDur == 0): the
+// population never renews, matching a stable long-lived flow set.
+type foreverDur struct{}
+
+func (foreverDur) Sample(*stats.RNG) float64 { return math.Inf(1) }
+func (foreverDur) Mean() float64             { return math.Inf(1) }
+func (foreverDur) String() string            { return "forever" }
+
+// Build realizes the scenario. It panics on an invalid scenario — callers
+// go through Run, which Validates first (and converts panics from deeper
+// construction, e.g. a disconnected Blink next hop, into violations).
+func Build(s *Scenario) *Built {
+	if err := s.Validate(); err != nil {
+		panic("scenario: " + err.Error())
+	}
+	b := &Built{scn: s}
+	nw := netsim.New()
+	b.Net = nw
+
+	for i, ns := range s.Nodes {
+		if ns.Router {
+			b.nodes = append(b.nodes, nw.AddRouter(ns.Name))
+		} else {
+			h := nw.AddHost(ns.Name, HostAddr(i))
+			nw.Announce(h, HostPrefix(i))
+			b.nodes = append(b.nodes, h)
+		}
+	}
+	for _, ls := range s.Links {
+		nw.Connect(b.nodes[ls.A], b.nodes[ls.B], ls.RateBps, ls.Delay, ls.QueueCap)
+	}
+	nw.ComputeRoutes()
+
+	// The audit stack attaches before any traffic is scheduled so the
+	// shadow counters and the trace see every event from t=0.
+	b.Recorder = audit.NewRecorder()
+	b.NetAudit = audit.AttachNetwork(nw, b.Recorder)
+	nw.OnTeardown(func() { _ = b.NetAudit.CheckDrained() })
+
+	if bs := s.Blink; bs != nil {
+		hops := make([]*netsim.Node, len(bs.NextHops))
+		for i, nh := range bs.NextHops {
+			hops[i] = b.nodes[nh]
+		}
+		cfg := blink.Config{Cells: bs.Cells, Threshold: bs.Threshold, Window: bs.Window}
+		b.Pipe = blink.NewPipeline(b.nodes[bs.Router], cfg, []blink.PrefixPolicy{{
+			Prefix:   HostPrefix(bs.Victim),
+			NextHops: hops,
+		}})
+		b.nodes[bs.Router].AttachProgram(b.Pipe)
+		b.MonAudit = audit.AttachMonitor(b.Pipe.Monitor(0), b.Recorder)
+		b.reroute = attachRerouteOracle(b.Pipe)
+	}
+
+	for ti := range s.Taps {
+		b.buildTap(ti)
+	}
+	for wi, w := range s.Workloads {
+		b.buildWorkload(wi, w)
+	}
+	eng := nw.Engine()
+	for _, f := range s.Failures {
+		l := nw.Links()[f.Link]
+		down := f.DownAt
+		eng.At(down, func() { l.SetUp(false) })
+		if f.UpAt > 0 {
+			up := f.UpAt
+			eng.At(up, func() { l.SetUp(true) })
+		}
+	}
+	return b
+}
+
+// buildTap installs tap ti: the intercept function (drops/delays on the
+// configured direction only) and, if configured, the injection pump that
+// originates spoofed packets through the tap's injector.
+func (b *Built) buildTap(ti int) {
+	ts := b.scn.Taps[ti]
+	l := b.Net.Links()[ts.Link]
+	dir := netsim.Direction(ts.Dir)
+	rng := stats.ChildAt(b.scn.Seed, 2000+uint64(ti))
+	inj := l.AttachTap(netsim.TapFunc(func(now float64, p *packet.Packet, d netsim.Direction) netsim.TapVerdict {
+		if d != dir {
+			return netsim.TapVerdict{}
+		}
+		var v netsim.TapVerdict
+		if ts.DropP > 0 && rng.Float64() < ts.DropP {
+			v.Drop = true
+			return v
+		}
+		if ts.Delay > 0 && (ts.DelayP <= 0 || rng.Float64() < ts.DelayP) {
+			v.Delay = ts.Delay
+		}
+		return v
+	}))
+
+	if ts.InjectPPS <= 0 {
+		return
+	}
+	until := ts.InjectUntil
+	if until == 0 {
+		until = b.scn.Duration
+	}
+	period := 1 / ts.InjectPPS
+	src := packet.MakeAddr(40, byte(ti), 0, 1)
+	dst := HostAddr(ts.InjectTo)
+	eng := b.Net.Engine()
+	seq := uint32(0)
+	var pump func(t float64)
+	pump = func(t float64) {
+		if t > until {
+			return
+		}
+		eng.At(t, func() {
+			p := packet.NewTCP(src, dst, packet.TCPHeader{
+				SrcPort: 4444, DstPort: 443, Seq: seq, Flags: packet.FlagACK,
+			}, 512)
+			seq += 512
+			inj.Inject(p, dir)
+			pump(t + period)
+		})
+	}
+	pump(period)
+}
+
+// buildWorkload schedules workload wi from its entry host.
+func (b *Built) buildWorkload(wi int, w WorkloadSpec) {
+	rng := stats.ChildAt(b.scn.Seed, 1000+uint64(wi))
+	var st trace.Stream
+	switch w.Kind {
+	case KindLegit:
+		var dur trace.DurationDist = foreverDur{}
+		if w.MeanDur > 0 {
+			dur = trace.ExpDuration{MeanSec: w.MeanDur}
+		}
+		st = trace.NewLegit(trace.LegitConfig{
+			Victim: HostPrefix(w.To), Flows: w.Flows, Dur: dur,
+			PPS: w.PPS, Until: w.Until, SrcBase: LegitSrcBase(wi),
+		}, rng)
+	case KindAttack:
+		from := w.RetransmitFrom
+		if from < 0 {
+			from = math.Inf(1)
+		}
+		st = trace.NewMalicious(trace.MaliciousConfig{
+			Victim: HostPrefix(w.To), Flows: w.Flows, PPS: w.PPS,
+			Until: w.Until, SrcBase: AttackSrcBase(wi),
+			RetransmitFrom: from, MimicRTO: w.MimicRTO,
+		}, rng)
+	}
+	blink.PlayStream(b.Net, b.nodes[w.From], st)
+}
+
+// rerouteOracle is the end-to-end check behind RuleReroute: every failover
+// the pipeline executes must be justified by at least Threshold monitored
+// cells with a retransmission inside the sliding window at decision time —
+// the condition Blink's incremental inference is supposed to implement.
+// The oracle rebuilds the in-window count from the monitor's own event
+// callbacks, independently of the selector's internal counters.
+type rerouteOracle struct {
+	window     float64
+	threshold  int
+	lastRetr   map[int]float64
+	violations []audit.Violation
+}
+
+func attachRerouteOracle(p *blink.Pipeline) *rerouteOracle {
+	m := p.Monitor(0)
+	cfg := m.Config()
+	o := &rerouteOracle{window: cfg.Window, threshold: cfg.Threshold, lastRetr: map[int]float64{}}
+	m.OnRetrans(func(ev blink.RetransEvent) { o.lastRetr[ev.Cell] = ev.Now })
+	m.OnEvict(func(ev blink.Eviction) { delete(o.lastRetr, ev.Cell) })
+	p.OnReroute = func(r blink.Reroute) {
+		n := 0
+		for _, t := range o.lastRetr {
+			if r.Now-t <= o.window {
+				n++
+			}
+		}
+		if n < o.threshold {
+			o.violations = append(o.violations, audit.Violation{
+				T: r.Now, Rule: RuleReroute,
+				Detail: fmt.Sprintf("failover executed with only %d in-window retransmitting cells (threshold %d)", n, o.threshold),
+			})
+		}
+	}
+	return o
+}

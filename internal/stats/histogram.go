@@ -88,6 +88,37 @@ func (h *Histogram) Distance(other *Histogram) float64 {
 	return d
 }
 
+// Coverage returns how well this histogram, taken as a model distribution,
+// explains the observed histogram: the expectation under the observed
+// distribution of the model's normalized bin mass, scaled so the model's
+// strongest bin scores 1. The result is 1 when every observation falls in
+// the model's most-expected bin and 0 when none lands where the model has
+// mass. Unlike an L1 distance, Coverage does not punish observations for
+// being *more* concentrated than the model — a deterministic environment
+// legitimately collapses a model's jitter bands to a point, which is why
+// the Blink supervisor scores plausibility with Coverage rather than
+// Distance. Both histograms must have identical shape and be non-empty.
+func (h *Histogram) Coverage(obs *Histogram) float64 {
+	if h.Lo != obs.Lo || h.Hi != obs.Hi || len(h.Counts) != len(obs.Counts) {
+		panic("stats: histogram shape mismatch")
+	}
+	if h.total == 0 || obs.total == 0 {
+		panic("stats: coverage of empty histogram")
+	}
+	mmax := uint64(0)
+	for _, c := range h.Counts {
+		if c > mmax {
+			mmax = c
+		}
+	}
+	cov := 0.0
+	for i := range h.Counts {
+		p := float64(obs.Counts[i]) / float64(obs.total)
+		cov += p * float64(h.Counts[i]) / float64(mmax)
+	}
+	return cov
+}
+
 // String renders a compact textual view, mainly for debugging and examples.
 func (h *Histogram) String() string {
 	var b strings.Builder

@@ -37,11 +37,13 @@ func NewRTOModel(srtts []float64, rtoMin float64) *RTOModel {
 		// often each is observed during a failure window. The observed
 		// gap is the RTO plus the residual inter-packet spacing of the
 		// flow (its last packet predates the failure by up to one
-		// spacing), so each stage is spread over a +0..250 ms band.
+		// spacing), so each stage is spread over a +0..250 ms band — plus
+		// one bin below the stage, because a measured gap of exactly one
+		// RTO ((t+RTO)-t in floats) straddles the bin edge either way.
 		for i, w := range []int{6, 3, 1} {
 			g := rto * math.Pow(2, float64(i))
 			for n := 0; n < w; n++ {
-				for u := 0.0; u < 0.25; u += 0.05 {
+				for u := -0.05; u < 0.25; u += 0.05 {
 					h.Add(g + u)
 				}
 			}
@@ -51,8 +53,12 @@ func NewRTOModel(srtts []float64, rtoMin float64) *RTOModel {
 }
 
 // Check compares observed retransmission gaps against the model and
-// returns the verdict. The risk is half the L1 distance between the
-// normalized histograms (0 = identical, 1 = disjoint).
+// returns the verdict. The risk is 1 minus the model's Coverage of the
+// observed histogram (0 = every gap in the model's most-expected bins,
+// 1 = no gap anywhere the model has mass). Coverage, not L1 distance: in
+// a low-jitter environment every genuine gap collapses onto the RTO floor,
+// and a symmetric distance would read that concentration — the strongest
+// possible match with the model's dominant bin — as implausible.
 func (m *RTOModel) Check(gaps []float64) Verdict {
 	if len(gaps) == 0 {
 		return Verdict{Plausible: true, Risk: 0, Reason: "no retransmissions observed"}
@@ -61,7 +67,7 @@ func (m *RTOModel) Check(gaps []float64) Verdict {
 	for _, g := range gaps {
 		obs.Add(g)
 	}
-	risk := m.hist.Distance(obs) / 2
+	risk := 1 - m.hist.Coverage(obs)
 	v := Verdict{Risk: risk, Plausible: risk < 0.5}
 	if v.Plausible {
 		v.Reason = "retransmission timing matches the expected RTO distribution"
