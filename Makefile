@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race audit bench bench-smoke fuzz-smoke report
+.PHONY: check vet build test race audit bench bench-smoke fuzz-smoke chaos-smoke report
 
 ## check: the full gate — vet, build, race-enabled tests.
 check: vet build race
@@ -38,6 +38,13 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) run -race ./cmd/simfuzz -seeds 200 -shrink
 	$(GO) run -race ./cmd/simfuzz -replay internal/fuzz/testdata/corpus
+
+## chaos-smoke: the race-enabled fault-plane gate — a reduced chaos-eval
+## sweep (gray-failure intensity vs Blink inference, 3 levels x 3 trials)
+## plus a short fault-mode fuzzing campaign. Both are seed-deterministic.
+chaos-smoke:
+	$(GO) run -race ./cmd/chaos-eval -quick
+	$(GO) run -race ./cmd/simfuzz -seeds 100 -faults -shrink
 
 ## report: regenerate the full reproduction report on all cores.
 report:

@@ -8,14 +8,17 @@
 // Usage:
 //
 //	simfuzz [-seeds N] [-seed S] [-parallel W] [-budget D] [-shrink]
-//	        [-corpus DIR] [-max-nodes N] [-quiet]
+//	        [-corpus DIR] [-max-nodes N] [-faults] [-checkpoint FILE] [-quiet]
 //	simfuzz -replay DIR
 //
-// The campaign verdict is a pure function of (-seed, -seeds): any
+// The campaign verdict is a pure function of (-seed, -seeds, -faults): any
 // -parallel value finds the same failures (a -budget cutoff is the one
-// wall-clock-dependent exception, reported as skipped trials). -replay
-// re-checks every corpus entry in DIR against current code instead of
-// fuzzing.
+// wall-clock-dependent exception, reported as skipped trials). -faults
+// opens the benign-fault plane (gray failure, flapping, degradation,
+// crash/restart) to the generator. -checkpoint records every completed
+// trial's verdict in FILE; a campaign killed mid-run resumes from it with
+// an identical final verdict. -replay re-checks every corpus entry in DIR
+// against current code instead of fuzzing.
 //
 // Exit status 0 when all scenarios (or corpus entries) pass, 1 when the
 // oracles caught failures, 2 on usage or internal errors.
@@ -41,10 +44,12 @@ func main() {
 	shrink := flag.Bool("shrink", false, "shrink each failure to a minimal reproducer")
 	corpus := flag.String("corpus", "", "directory to write failure reproducers to")
 	maxNodes := flag.Int("max-nodes", 0, "topology size cap for generated scenarios (0 = default)")
+	faultModes := flag.Bool("faults", false, "draw benign-fault specs (gray failure, flapping, degradation, crash/restart)")
+	checkpoint := flag.String("checkpoint", "", "record per-trial verdicts in this file; resume a killed campaign from it")
 	replay := flag.String("replay", "", "replay corpus entries from this directory instead of fuzzing")
 	quiet := flag.Bool("quiet", false, "suppress per-failure and progress output; only the final summary")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: simfuzz [-seeds N] [-seed S] [-parallel W] [-budget D] [-shrink] [-corpus DIR] [-max-nodes N] [-quiet]\n")
+		fmt.Fprintf(os.Stderr, "usage: simfuzz [-seeds N] [-seed S] [-parallel W] [-budget D] [-shrink] [-corpus DIR] [-max-nodes N] [-faults] [-checkpoint FILE] [-quiet]\n")
 		fmt.Fprintf(os.Stderr, "       simfuzz -replay DIR\n")
 		flag.PrintDefaults()
 	}
@@ -63,13 +68,14 @@ func main() {
 		log = nil
 	}
 	res, err := fuzz.Run(context.Background(), fuzz.Config{
-		Seeds:    *seeds,
-		RootSeed: *seed,
-		Workers:  *parallel,
-		Budget:   *budget,
-		Shrink:   *shrink,
-		Gen:      fuzz.GenConfig{MaxNodes: *maxNodes},
-		Log:      log,
+		Seeds:      *seeds,
+		RootSeed:   *seed,
+		Workers:    *parallel,
+		Budget:     *budget,
+		Shrink:     *shrink,
+		Gen:        fuzz.GenConfig{MaxNodes: *maxNodes, FaultModes: *faultModes},
+		Checkpoint: *checkpoint,
+		Log:        log,
 		OnProgress: func(p runner.Progress) {
 			if *quiet || p.Done%50 != 0 && p.Done != p.Total {
 				return
@@ -109,6 +115,9 @@ func main() {
 
 	ran := res.Trials - res.Skipped
 	fmt.Printf("simfuzz: %d/%d scenarios run, %d failures", ran, res.Trials, len(res.Failures))
+	if res.Resumed > 0 {
+		fmt.Printf(" (%d resumed from checkpoint)", res.Resumed)
+	}
 	if res.Skipped > 0 {
 		fmt.Printf(" (%d skipped: budget exhausted)", res.Skipped)
 	}

@@ -57,7 +57,7 @@ const (
 	RuleQueueCap         = "queue-cap"           // drop-tail queue over capacity
 	RuleQueueSurvives    = "queue-survives-down" // queued packets outlived a link failure
 	RuleLinkConservation = "link-conservation"   // Sent != Delivered+drops+occupancy
-	RuleSendConservation = "send-conservation"   // Offered+Injected != TapDrop+held+Sent
+	RuleSendConservation = "send-conservation"   // Offered+Injected+Duplicated != TapDrop+FaultDrop+held+Sent
 	RuleShadowMismatch   = "shadow-mismatch"     // LinkStats disagree with observed events
 	RuleNotDrained       = "not-drained"         // occupancy left at drain time
 	RuleSelector         = "selector-state"      // Blink selector invariant broken

@@ -13,7 +13,7 @@ import (
 // event stream, and checks after each event that the link's own LinkStats
 // satisfy the documented conservation identities:
 //
-//	Offered + Injected == TapDrop + tapHeld + Sent
+//	Offered + Injected + Duplicated == TapDrop + FaultDrop + held + Sent
 //	Sent == Delivered + QueueDrop + DownDrop + queued + onWire
 //	0 <= queued <= QueueCap (when capped)
 //	queued == 0 while the link is down (failures flush the queue)
@@ -37,15 +37,27 @@ type shadowKey struct {
 
 type shadowCounts struct {
 	sent, delivered, queuedrop, downdrop, tapdrop, faildrop uint64
+	faultdrop, duplicated                                   uint64
 }
 
+// DefaultEventBudget is the engine event budget AttachNetwork installs
+// when none is set: generous enough that no legitimate audited run comes
+// near it, small enough that a zero-delay self-scheduling loop dies with a
+// diagnosable *netsim.LivelockError in seconds rather than hanging.
+const DefaultEventBudget = 1 << 30
+
 // AttachNetwork installs the auditor on nw: the engine's causality check
-// turns on and every link event is checked (and recorded, when rec is
-// non-nil). Attach before the simulation starts so the shadow counters see
-// every event. At most one auditor per network (the probe slot is single).
+// turns on, every link event is checked (and recorded, when rec is
+// non-nil), and — if the engine has no event budget yet — the livelock
+// watchdog is armed at DefaultEventBudget. Attach before the simulation
+// starts so the shadow counters see every event. At most one auditor per
+// network (the probe slot is single).
 func AttachNetwork(nw *netsim.Network, rec *Recorder) *NetAudit {
 	a := &NetAudit{nw: nw, rec: rec, shadow: map[shadowKey]*shadowCounts{}}
 	nw.Engine().SetAudit(true)
+	if nw.Engine().EventBudget() == 0 {
+		nw.Engine().SetEventBudget(DefaultEventBudget)
+	}
 	nw.SetLinkProbe(a.onLinkEvent)
 	return a
 }
@@ -76,6 +88,10 @@ func (a *NetAudit) onLinkEvent(now float64, kind netsim.LinkEventKind, l *netsim
 		sc.tapdrop++
 	case netsim.LinkFailDrop:
 		sc.faildrop++
+	case netsim.LinkFaultDrop:
+		sc.faultdrop++
+	case netsim.LinkDuplicated:
+		sc.duplicated++
 	}
 	// The shadow cross-check is deferred to Check/CheckDrained: within one
 	// synchronous send, stats are fully updated before the packet's probes
@@ -101,15 +117,16 @@ func (a *NetAudit) checkLinkDir(now float64, l *netsim.Link, dir netsim.Directio
 		a.v.add(now, RuleLinkConservation, where, "link conservation broken: Sent=%d != Delivered=%d + QueueDrop=%d + DownDrop=%d + queued=%d + onWire=%d",
 			st.Sent, st.Delivered, st.QueueDrop, st.DownDrop, queued, onWire)
 	}
-	if st.Offered+st.Injected != st.TapDrop+uint64(held)+st.Sent {
-		a.v.add(now, RuleSendConservation, where, "send-layer conservation broken: Offered=%d + Injected=%d != TapDrop=%d + tapHeld=%d + Sent=%d",
-			st.Offered, st.Injected, st.TapDrop, held, st.Sent)
+	if st.Offered+st.Injected+st.Duplicated != st.TapDrop+st.FaultDrop+uint64(held)+st.Sent {
+		a.v.add(now, RuleSendConservation, where, "send-layer conservation broken: Offered=%d + Injected=%d + Duplicated=%d != TapDrop=%d + FaultDrop=%d + held=%d + Sent=%d",
+			st.Offered, st.Injected, st.Duplicated, st.TapDrop, st.FaultDrop, held, st.Sent)
 	}
 	if sc != nil {
 		if sc.sent != st.Sent || sc.delivered != st.Delivered || sc.queuedrop != st.QueueDrop ||
-			sc.tapdrop != st.TapDrop || sc.downdrop+sc.faildrop != st.DownDrop {
-			a.v.add(now, RuleShadowMismatch, where, "stats disagree with observed events: stats=%+v events={sent:%d delivered:%d queuedrop:%d downdrop:%d+%d tapdrop:%d}",
-				st, sc.sent, sc.delivered, sc.queuedrop, sc.downdrop, sc.faildrop, sc.tapdrop)
+			sc.tapdrop != st.TapDrop || sc.downdrop+sc.faildrop != st.DownDrop ||
+			sc.faultdrop != st.FaultDrop || sc.duplicated != st.Duplicated {
+			a.v.add(now, RuleShadowMismatch, where, "stats disagree with observed events: stats=%+v events={sent:%d delivered:%d queuedrop:%d downdrop:%d+%d tapdrop:%d faultdrop:%d duplicated:%d}",
+				st, sc.sent, sc.delivered, sc.queuedrop, sc.downdrop, sc.faildrop, sc.tapdrop, sc.faultdrop, sc.duplicated)
 		}
 	}
 }

@@ -22,6 +22,25 @@ type FailoverConfig struct {
 	// Hook, if set, runs after the pipeline is built (supervisor
 	// installation point).
 	Hook func(p *Pipeline)
+	// Chaos, if set, receives the built topology after routing converges
+	// and before any flow starts — the fault-injection point
+	// (internal/faults). Nil leaves the run bit-identical to a chaos-free
+	// one.
+	Chaos func(t FailoverTopo)
+}
+
+// FailoverTopo exposes the experiment's fixed topology to the Chaos hook:
+// the network (for the engine and scheduling) plus every node and link by
+// role, so fault plans can target the primary path, the backup path, or
+// the Blink router itself.
+type FailoverTopo struct {
+	Net                         *netsim.Network
+	Sender, RBlink, RGood, RAlt *netsim.Node
+	Victim                      *netsim.Node
+	SenderUplink                *netsim.Link // sender–rBlink
+	PrimaryTrunk, PrimaryTail   *netsim.Link // rBlink–rGood, rGood–victim
+	BackupTrunk, BackupTail     *netsim.Link // rBlink–rAlt, rAlt–victim
+	Pipe                        *Pipeline
 }
 
 // Defaults fills a representative configuration.
@@ -73,11 +92,11 @@ func RunFailover(cfg FailoverConfig) *FailoverResult {
 	rGood := nw.AddRouter("rGood")
 	rAlt := nw.AddRouter("rAlt")
 	victim := nw.AddHost("victim", Victim.Nth(1))
-	nw.Connect(sender, rBlink, 0, 0.002, 0)
-	nw.Connect(rBlink, rGood, 0, 0.01, 0)
-	nw.Connect(rBlink, rAlt, 0, 0.015, 0)
+	lUp := nw.Connect(sender, rBlink, 0, 0.002, 0)
+	lTrunk := nw.Connect(rBlink, rGood, 0, 0.01, 0)
+	lBackupTrunk := nw.Connect(rBlink, rAlt, 0, 0.015, 0)
 	lGood := nw.Connect(rGood, victim, 0, 0.01, 0)
-	nw.Connect(rAlt, victim, 0, 0.015, 0)
+	lBackupTail := nw.Connect(rAlt, victim, 0, 0.015, 0)
 	nw.Announce(victim, Victim)
 	nw.ComputeRoutes()
 	// Return traffic is pinned through rAlt: the failure under study is
@@ -97,6 +116,13 @@ func RunFailover(cfg FailoverConfig) *FailoverResult {
 	pipe.Monitor(0).OnRetrans(func(ev RetransEvent) {
 		res.RetransGaps = append(res.RetransGaps, ev.Gap)
 	})
+	if cfg.Chaos != nil {
+		cfg.Chaos(FailoverTopo{
+			Net: nw, Sender: sender, RBlink: rBlink, RGood: rGood, RAlt: rAlt, Victim: victim,
+			SenderUplink: lUp, PrimaryTrunk: lTrunk, PrimaryTail: lGood,
+			BackupTrunk: lBackupTrunk, BackupTail: lBackupTail, Pipe: pipe,
+		})
+	}
 
 	se := tcpflow.NewEndpoint(sender)
 	ve := tcpflow.NewEndpoint(victim)

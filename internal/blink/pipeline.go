@@ -89,6 +89,19 @@ func (p *Pipeline) OnPacket(now float64, pkt *packet.Packet, node *netsim.Node) 
 	return true
 }
 
+// Restart models a crash/restart of the router running the pipeline: all
+// monitor state is lost (Monitor.Restart) and every policy falls back to
+// its primary next hop — what a rebooted device loads from its startup
+// config. Reroute history, veto counts, and registered hooks survive; they
+// belong to the experiment harness, not router RAM.
+func (p *Pipeline) Restart(now float64) {
+	for _, st := range p.states {
+		st.monitor.Restart(now)
+		st.current = 0
+		p.node.AddRoute(st.policy.Prefix, st.policy.NextHops[0], nil)
+	}
+}
+
 // failover advances to the next backup next hop and rewrites the route —
 // Blink's fast-reroute action, and the lever the §3.1 attacker pulls.
 func (p *Pipeline) failover(now float64, st *prefixState) {

@@ -322,6 +322,21 @@ func (m *Monitor) evict(c *Cell, idx int, now float64, reset bool) {
 	*c = Cell{}
 }
 
+// Restart models a router crash and power-cycle: every occupied cell is
+// evicted (reported to OnEvict with Reset=true — residences ended by state
+// loss, not by the sampling rules), failure inference re-arms, and the
+// sample-reset clock restarts at now. Registered callbacks survive — they
+// model the control plane and the auditors, not router RAM.
+func (m *Monitor) Restart(now float64) {
+	for i := range m.cells {
+		m.evict(&m.cells[i], i, now, true)
+	}
+	m.retrCount = 0
+	m.minLastRetr = 0
+	m.armed = true
+	m.nextReset = now + m.cfg.ResetPeriod
+}
+
 // maybeReset clears the sample when the reset period elapses (checked on
 // packet arrival, as a data plane would with a timestamp comparison).
 func (m *Monitor) maybeReset(now float64) {

@@ -1,0 +1,132 @@
+package faults
+
+import (
+	"dui/internal/netsim"
+	"dui/internal/stats"
+)
+
+// FlapConfig describes a flapping link: from Start the link alternates
+// down/up with exponentially distributed dwell times (means MeanDown and
+// MeanUp, floored at MinDwell) until End, where it is forced up. Real
+// flapping interfaces produce exactly the bursty loss-and-recover pattern
+// that stresses failure inference without any hostile intent.
+type FlapConfig struct {
+	Start, End       float64 // first failure and end of the flapping window
+	MeanDown, MeanUp float64 // exponential dwell means, seconds
+	MinDwell         float64 // floor on every dwell (damping, as real hold-down timers do)
+}
+
+// Toggle is one scheduled link-state transition.
+type Toggle struct {
+	T  float64
+	Up bool
+}
+
+// FlapSchedule precomputes the full toggle sequence for cfg — a pure
+// function of (cfg, rng), drawn entirely up front so scheduling order can
+// never perturb the stream. The sequence starts with a down-toggle at
+// Start and, if the link would be left down, ends with an up-toggle at
+// End. It panics if the config is degenerate (End <= Start or nonpositive
+// dwell means).
+func FlapSchedule(cfg FlapConfig, rng *stats.RNG) []Toggle {
+	if cfg.End <= cfg.Start || cfg.MeanDown <= 0 || cfg.MeanUp <= 0 {
+		panic("faults: degenerate flap config")
+	}
+	var out []Toggle
+	t := cfg.Start
+	nextUp := false // the first toggle takes the link down
+	for t < cfg.End {
+		out = append(out, Toggle{T: t, Up: nextUp})
+		mean := cfg.MeanDown // just went down: dwell in the down state
+		if nextUp {
+			mean = cfg.MeanUp
+		}
+		d := rng.Exp(mean)
+		if d < cfg.MinDwell {
+			d = cfg.MinDwell
+		}
+		t += d
+		nextUp = !nextUp
+	}
+	if !out[len(out)-1].Up {
+		out = append(out, Toggle{T: cfg.End, Up: true})
+	}
+	return out
+}
+
+// ScheduleFlap draws the toggle sequence and schedules every SetUp
+// transition on the engine, returning the sequence for reporting. Each
+// down-toggle flushes the link's queues exactly as any netsim failure
+// does, so the audit identities keep holding through every flap.
+func ScheduleFlap(eng *netsim.Engine, l *netsim.Link, cfg FlapConfig, rng *stats.RNG) []Toggle {
+	sched := FlapSchedule(cfg, rng)
+	for _, tg := range sched {
+		up := tg.Up
+		eng.At(tg.T, func() { l.SetUp(up) })
+	}
+	return sched
+}
+
+// DegradeConfig describes a scheduled bandwidth degradation: at At the
+// link's transmission rate is multiplied by Factor (in (0, 1]); at Until
+// the pre-degradation rate is restored. Until 0 leaves the link degraded
+// for good.
+type DegradeConfig struct {
+	At, Until float64
+	Factor    float64
+}
+
+// ScheduleDegrade schedules the rate change. The pre-degradation rate is
+// captured when the degradation fires, not when it is scheduled, so
+// stacked degradations on one link compose multiplicatively and restore in
+// reverse order. A rate-0 (infinite) link stays infinite — there is no
+// finite rate to degrade.
+func ScheduleDegrade(eng *netsim.Engine, l *netsim.Link, cfg DegradeConfig) {
+	if cfg.Factor <= 0 || cfg.Factor > 1 {
+		panic("faults: degrade factor outside (0, 1]")
+	}
+	eng.At(cfg.At, func() {
+		before := l.RateBps
+		l.RateBps = before * cfg.Factor
+		if cfg.Until > 0 {
+			eng.At(cfg.Until, func() { l.RateBps = before })
+		}
+	})
+}
+
+// CrashConfig describes a router crash/restart: at At the device goes dark
+// — every attached link that is currently up fails (flushing queues, as
+// netsim failures do); at RestartAt exactly those links come back.
+// RestartAt 0 means the device never returns.
+type CrashConfig struct {
+	At, RestartAt float64
+}
+
+// ScheduleCrash schedules the crash and, if configured, the restart.
+// onRestart (may be nil) runs at restart time after the links return and
+// models the loss of volatile state — for a Blink router, pass a closure
+// over blink.Pipeline.Restart so the monitor replays its warm-up from an
+// empty selector. Only links the crash itself took down are restored:
+// links already down at crash time (scheduled failures, flaps) are left to
+// their own schedules.
+func ScheduleCrash(eng *netsim.Engine, n *netsim.Node, cfg CrashConfig, onRestart func(now float64)) {
+	eng.At(cfg.At, func() {
+		var downed []*netsim.Link
+		for _, l := range n.Links() {
+			if l.Up() {
+				l.SetUp(false)
+				downed = append(downed, l)
+			}
+		}
+		if cfg.RestartAt > 0 {
+			eng.At(cfg.RestartAt, func() {
+				for _, l := range downed {
+					l.SetUp(true)
+				}
+				if onRestart != nil {
+					onRestart(eng.Now())
+				}
+			})
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package fuzz
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"dui/internal/audit"
+)
+
+// Checkpoint file format: JSON Lines. The first line is a header binding
+// the file to one campaign configuration; every following line records one
+// completed trial's verdict. A resumed campaign replays recorded verdicts
+// instead of re-running their trials, and because each trial's outcome is
+// a pure function of (RootSeed, trial index, Gen), the stitched-together
+// campaign verdict is identical to an uninterrupted run's. A torn final
+// line (the process died mid-append) is ignored; any earlier corruption is
+// an error.
+
+const (
+	checkpointMagic   = "dui-fuzz-checkpoint"
+	checkpointVersion = 1
+)
+
+type checkpointHeader struct {
+	Magic    string    `json:"magic"`
+	Version  int       `json:"version"`
+	RootSeed uint64    `json:"root_seed"`
+	Seeds    int       `json:"seeds"`
+	Gen      GenConfig `json:"gen"`
+}
+
+type checkpointRecord struct {
+	Trial      int               `json:"trial"`
+	Seed       uint64            `json:"seed"`
+	Violations []audit.Violation `json:"violations,omitempty"`
+}
+
+// checkpoint is the live handle: the verdicts loaded at open time (read-only
+// once workers start) and the append-side file.
+type checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[int]checkpointRecord
+}
+
+// openCheckpoint opens (or creates) the checkpoint at path for the
+// campaign described by hdr. An existing file must carry a matching
+// header — resuming under a different root seed, trial count, or generator
+// config would stitch incompatible verdicts together.
+func openCheckpoint(path string, hdr checkpointHeader) (*checkpoint, error) {
+	cp := &checkpoint{done: map[int]checkpointRecord{}}
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err) || (err == nil && len(data) == 0):
+		// Fresh campaign: write the header first.
+	case err != nil:
+		return nil, fmt.Errorf("fuzz: checkpoint %s: %w", path, err)
+	default:
+		lines := bytes.Split(data, []byte("\n"))
+		var got checkpointHeader
+		if err := json.Unmarshal(lines[0], &got); err != nil || got.Magic != checkpointMagic {
+			return nil, fmt.Errorf("fuzz: checkpoint %s: not a checkpoint file", path)
+		}
+		if got.Version != checkpointVersion {
+			return nil, fmt.Errorf("fuzz: checkpoint %s: version %d (want %d)", path, got.Version, checkpointVersion)
+		}
+		if got.RootSeed != hdr.RootSeed || got.Seeds != hdr.Seeds || got.Gen != hdr.Gen {
+			return nil, fmt.Errorf("fuzz: checkpoint %s was written by a different campaign (root_seed=%d seeds=%d); use a fresh file or matching flags",
+				path, got.RootSeed, got.Seeds)
+		}
+		for i := 1; i < len(lines); i++ {
+			line := bytes.TrimSpace(lines[i])
+			if len(line) == 0 {
+				continue
+			}
+			var rec checkpointRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				if i == len(lines)-1 {
+					break // torn final append from a killed run
+				}
+				return nil, fmt.Errorf("fuzz: checkpoint %s: corrupt record on line %d: %v", path, i+1, err)
+			}
+			if rec.Trial < 0 || rec.Trial >= hdr.Seeds {
+				return nil, fmt.Errorf("fuzz: checkpoint %s: trial %d out of range on line %d", path, rec.Trial, i+1)
+			}
+			cp.done[rec.Trial] = rec
+		}
+		cp.f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: checkpoint %s: %w", path, err)
+		}
+		return cp, nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: checkpoint %s: %w", path, err)
+	}
+	w := bufio.NewWriter(f)
+	enc, err := json.Marshal(hdr)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.Write(enc)
+	w.WriteByte('\n')
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fuzz: checkpoint %s: %w", path, err)
+	}
+	cp.f = f
+	return cp, nil
+}
+
+// lookup returns the recorded verdict for trial i, if any. The done map is
+// immutable once workers start, so lookups need no lock.
+func (cp *checkpoint) lookup(i int) (checkpointRecord, bool) {
+	rec, ok := cp.done[i]
+	return rec, ok
+}
+
+// record appends one completed trial. Appends are serialized and written
+// as one line each; a kill between lines loses at most the in-flight
+// trials, which the resumed campaign simply re-runs.
+func (cp *checkpoint) record(rec checkpointRecord) {
+	enc, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.f.Write(enc)
+	cp.f.Write([]byte("\n"))
+}
+
+func (cp *checkpoint) close() {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.f.Close()
+}

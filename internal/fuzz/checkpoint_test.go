@@ -1,0 +1,187 @@
+package fuzz
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dui/internal/netsim"
+	"dui/internal/runner"
+)
+
+// TestCheckpointResumeIdenticalVerdict is the crash-recovery contract: a
+// campaign killed mid-run and resumed from its checkpoint produces the
+// byte-identical verdict of an uninterrupted run, re-running only the
+// trials the checkpoint misses.
+func TestCheckpointResumeIdenticalVerdict(t *testing.T) {
+	// Re-introduce the flush bug so the campaign has real failures to
+	// carry across the resume.
+	netsim.DebugHooks.DisableFailureFlush = true
+	defer func() { netsim.DebugHooks.DisableFailureFlush = false }()
+
+	const seeds = 40
+	cfg := func(path string) Config {
+		return Config{Seeds: seeds, RootSeed: 11, Workers: 2, Checkpoint: path}
+	}
+
+	full, err := Run(context.Background(), Config{Seeds: seeds, RootSeed: 11, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Failures) == 0 {
+		t.Fatal("hooked campaign found nothing; the resume test needs failures to carry")
+	}
+
+	// First attempt: cancel after 15 completed trials — the checkpoint
+	// keeps whatever finished before the kill.
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := 0
+	c := cfg(path)
+	c.OnProgress = func(p runner.Progress) {
+		if done++; done == 15 {
+			cancel()
+		}
+	}
+	partial, err := Run(ctx, c)
+	if err != nil {
+		t.Fatalf("canceled campaign must return a partial result, got %v", err)
+	}
+	if partial.Skipped == 0 {
+		t.Fatal("cancellation skipped nothing — the kill came too late to test resume")
+	}
+
+	// Resume: recorded trials replay, the rest run fresh.
+	resumed, err := Run(context.Background(), cfg(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed == 0 {
+		t.Fatal("resume replayed no trials from the checkpoint")
+	}
+	if resumed.Skipped != 0 || resumed.Trials != seeds {
+		t.Fatalf("resumed run incomplete: %+v", resumed)
+	}
+	if !reflect.DeepEqual(stripShrink(full.Failures), stripShrink(resumed.Failures)) {
+		t.Fatalf("resumed verdict differs from uninterrupted run:\nfull:    %+v\nresumed: %+v",
+			stripShrink(full.Failures), stripShrink(resumed.Failures))
+	}
+
+	// A second resume over the now-complete checkpoint replays everything.
+	again, err := Run(context.Background(), cfg(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Resumed != seeds {
+		t.Fatalf("complete checkpoint resumed %d of %d trials", again.Resumed, seeds)
+	}
+	if !reflect.DeepEqual(stripShrink(full.Failures), stripShrink(again.Failures)) {
+		t.Fatal("fully-replayed verdict differs from uninterrupted run")
+	}
+}
+
+// stripShrink reduces failures to their resume-relevant identity (the
+// shrinker's output is covered elsewhere and not recorded in checkpoints).
+func stripShrink(fs []Failure) []Failure {
+	out := make([]Failure, len(fs))
+	for i, f := range fs {
+		f.Shrunk, f.ShrinkRuns = nil, 0
+		out[i] = f
+	}
+	return out
+}
+
+// TestCheckpointRejectsMismatchedCampaign pins the binding: a checkpoint
+// written under one (RootSeed, Seeds, Gen) must refuse any other.
+func TestCheckpointRejectsMismatchedCampaign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	if _, err := Run(context.Background(), Config{Seeds: 5, RootSeed: 1, Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range map[string]Config{
+		"root-seed": {Seeds: 5, RootSeed: 2, Checkpoint: path},
+		"seeds":     {Seeds: 6, RootSeed: 1, Checkpoint: path},
+		"gen":       {Seeds: 5, RootSeed: 1, Gen: GenConfig{FaultModes: true}, Checkpoint: path},
+	} {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("%s mismatch accepted a foreign checkpoint", name)
+		} else if !strings.Contains(err.Error(), "different campaign") {
+			t.Errorf("%s mismatch: unexpected error %v", name, err)
+		}
+	}
+}
+
+// TestCheckpointToleratesTornFinalLine simulates a kill mid-append: the
+// torn record is discarded and its trial simply re-runs.
+func TestCheckpointToleratesTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	if _, err := Run(context.Background(), Config{Seeds: 5, RootSeed: 1, Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"trial": 4, "se`) // the kill landed mid-write
+	f.Close()
+	res, err := Run(context.Background(), Config{Seeds: 5, RootSeed: 1, Checkpoint: path})
+	if err != nil {
+		t.Fatalf("torn final line rejected: %v", err)
+	}
+	if res.Resumed != 5 {
+		t.Fatalf("resumed %d of 5 after torn append", res.Resumed)
+	}
+}
+
+// TestCheckpointRejectsForeignFile pins the magic check.
+func TestCheckpointRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-checkpoint")
+	if err := os.WriteFile(path, []byte("hello\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), Config{Seeds: 5, RootSeed: 1, Checkpoint: path}); err == nil {
+		t.Fatal("non-checkpoint file accepted")
+	}
+}
+
+// TestFaultCampaignCleanOnCurrentCode is the joint fault-plane/oracle
+// sweep: scenarios drawn with every benign fault mode enabled must still
+// satisfy every invariant and replay deterministically.
+func TestFaultCampaignCleanOnCurrentCode(t *testing.T) {
+	n := 100
+	if testing.Short() {
+		n = 25
+	}
+	res, err := Run(context.Background(), Config{
+		Seeds: n, RootSeed: 23, Gen: GenConfig{FaultModes: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) > 0 {
+		f := res.Failures[0]
+		t.Fatalf("fault campaign found %d failures on clean code; first: seed=%#x rule=%s %v\n%s",
+			len(res.Failures), f.Seed, f.Rule, f.Violations[0], f.Scenario.Size())
+	}
+}
+
+// TestFaultModesDoNotPerturbClassicDraws pins the generator layering: for
+// any seed, the classic portion of the scenario is bit-identical with
+// FaultModes on or off — fault draws happen strictly after.
+func TestFaultModesDoNotPerturbClassicDraws(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		off := Generate(seed, GenConfig{})
+		on := Generate(seed, GenConfig{FaultModes: true})
+		stripped := on.Clone()
+		stripped.Gray, stripped.Flaps, stripped.Degrades, stripped.Crashes = nil, nil, nil, nil
+		if !reflect.DeepEqual(*off, stripped) {
+			t.Fatalf("seed %d: FaultModes perturbed the classic draws", seed)
+		}
+		if err := on.Validate(); err != nil {
+			t.Fatalf("seed %d: fault-mode scenario invalid: %v", seed, err)
+		}
+	}
+}

@@ -36,6 +36,8 @@ var HookNames = map[string]*bool{
 	"disable-failure-flush":   &netsim.DebugHooks.DisableFailureFlush,
 	"tap-chain-short-circuit": &netsim.DebugHooks.TapChainShortCircuit,
 	"skip-injected-count":     &netsim.DebugHooks.SkipInjectedCount,
+	"skip-fault-drop-count":   &netsim.DebugHooks.SkipFaultDropCount,
+	"skip-duplicated-count":   &netsim.DebugHooks.SkipDuplicatedCount,
 }
 
 // SetHook flips the named debug hook. An empty name is a no-op; an

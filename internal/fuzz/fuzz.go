@@ -33,6 +33,13 @@ type Config struct {
 	ShrinkBudget int
 	// Gen bounds the scenario generator.
 	Gen GenConfig
+	// Checkpoint, when non-empty, is a JSONL file recording every
+	// completed trial's verdict as it finishes. A campaign killed mid-run
+	// resumes from it: recorded trials replay their verdicts instead of
+	// re-running, and the final verdict is identical to an uninterrupted
+	// run's. The file is bound to (RootSeed, Seeds, Gen); mismatched
+	// flags are an error, not a silent restart.
+	Checkpoint string
 	// Log, when non-nil, receives one line per failure and shrink result.
 	Log io.Writer
 	// OnProgress, if non-nil, observes trial completion.
@@ -62,6 +69,7 @@ type Failure struct {
 type Result struct {
 	Trials   int
 	Skipped  int // trials not run (budget exhausted or canceled)
+	Resumed  int // trials whose verdict was replayed from the checkpoint
 	Failures []Failure
 }
 
@@ -70,6 +78,8 @@ type Result struct {
 // trials — and thus the campaign verdict — depend on scheduling.
 type trialOutcome struct {
 	ran        bool
+	resumed    bool
+	seed       uint64
 	scn        *scenario.Scenario
 	violations []audit.Violation
 }
@@ -87,20 +97,43 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		runCtx, cancel = context.WithTimeout(ctx, cfg.Budget)
 		defer cancel()
 	}
+	var cp *checkpoint
+	if cfg.Checkpoint != "" {
+		var err error
+		cp, err = openCheckpoint(cfg.Checkpoint, checkpointHeader{
+			Magic: checkpointMagic, Version: checkpointVersion,
+			RootSeed: cfg.RootSeed, Seeds: cfg.Seeds, Gen: cfg.Gen.Defaults(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer cp.close()
+	}
 	outcomes, err := runner.Run(runCtx, cfg.Seeds, cfg.RootSeed, runner.Config{
 		Workers:    cfg.Workers,
 		OnProgress: cfg.OnProgress,
 	}, func(_ context.Context, t runner.Trial) (trialOutcome, error) {
+		if cp != nil {
+			if rec, ok := cp.lookup(t.Index); ok {
+				return trialOutcome{ran: true, resumed: true, seed: rec.Seed, violations: rec.Violations}, nil
+			}
+		}
 		s := Generate(t.Seed, cfg.Gen)
 		rep := scenario.RunChecked(s, scenario.Options{})
 		t.ReportVirtual(rep.FinalTime)
-		out := trialOutcome{ran: true, scn: s}
+		out := trialOutcome{ran: true, seed: t.Seed, scn: s}
 		if rep.Failed() {
 			out.violations = rep.Violations
 		}
+		if cp != nil {
+			cp.record(checkpointRecord{Trial: t.Index, Seed: t.Seed, Violations: out.violations})
+		}
 		return out, nil
 	})
-	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+	// A deadline (budget) or cancellation (the campaign being killed) leaves
+	// a partial-but-valid result: completed trials keep their verdicts and
+	// checkpoint records; the rest are reported as skipped.
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
 		return nil, err
 	}
 
@@ -110,8 +143,16 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			res.Skipped++
 			continue
 		}
+		if out.resumed {
+			res.Resumed++
+		}
 		if len(out.violations) == 0 {
 			continue
+		}
+		if out.scn == nil {
+			// A resumed failure replays its verdict from the checkpoint;
+			// the scenario itself is a pure function of the recorded seed.
+			out.scn = Generate(out.seed, cfg.Gen)
 		}
 		f := Failure{
 			TrialIndex: i,

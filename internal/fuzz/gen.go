@@ -31,6 +31,12 @@ type GenConfig struct {
 	MaxPPS       float64
 	// MaxDuration caps the simulated horizon (seconds).
 	MaxDuration float64
+	// FaultModes opens the benign-fault plane to the generator: gray
+	// failure, link flapping, bandwidth degradation, and router
+	// crash/restart specs are drawn after all classic draws, so for any
+	// seed the classic portion of the scenario is bit-identical with the
+	// flag on or off. Default off — existing campaigns are unchanged.
+	FaultModes bool
 }
 
 // Defaults fills zero fields and returns the config.
@@ -172,7 +178,84 @@ func Generate(seed uint64, cfg GenConfig) *scenario.Scenario {
 			s.Blink = b
 		}
 	}
+
+	if cfg.FaultModes {
+		genFaults(rng, s)
+	}
 	return s
+}
+
+// genFaults appends benign-fault specs — the joint fault×attack space the
+// nightly campaign explores. All draws happen after every classic draw, so
+// enabling FaultModes never perturbs the classic portion of any seed's
+// scenario. Intensities are moderate: the oracles must keep holding under
+// benign chaos, so the point is coverage of the fault plane's machinery,
+// not making scenarios fail.
+func genFaults(rng *stats.RNG, s *scenario.Scenario) {
+	for g := rng.IntN(3); g > 0; g-- {
+		gs := scenario.GraySpec{Link: rng.IntN(len(s.Links)), Dir: rng.IntN(2)}
+		if rng.Float64() < 0.6 {
+			gs.LossP = rng.Float64() * 0.2
+		}
+		if rng.Float64() < 0.4 {
+			gs.DupP = rng.Float64() * 0.15
+		}
+		if rng.Float64() < 0.3 {
+			gs.CorruptP = rng.Float64() * 0.1
+		}
+		if rng.Float64() < 0.5 {
+			gs.Jitter = 0.001 + rng.Float64()*0.05
+			gs.JitterP = rng.Float64()
+		}
+		if gs.LossP == 0 && gs.DupP == 0 && gs.CorruptP == 0 && gs.Jitter == 0 {
+			gs.LossP = 0.05
+		}
+		s.Gray = append(s.Gray, gs)
+	}
+	for f := rng.IntN(2); f > 0; f-- {
+		start := s.Duration * (0.1 + 0.4*rng.Float64())
+		end := start + (s.Duration-start)*(0.3+0.7*rng.Float64())
+		if end > s.Duration {
+			end = s.Duration
+		}
+		s.Flaps = append(s.Flaps, scenario.FlapSpec{
+			Link: rng.IntN(len(s.Links)), Start: start, End: end,
+			MeanDown: 0.05 + rng.Float64()*0.5,
+			MeanUp:   0.1 + rng.Float64(),
+			MinDwell: 0.01 + rng.Float64()*0.05,
+		})
+	}
+	for d := rng.IntN(2); d > 0; d-- {
+		at := s.Duration * (0.2 + 0.5*rng.Float64())
+		ds := scenario.DegradeSpec{
+			Link: rng.IntN(len(s.Links)), At: at,
+			Factor: 0.05 + rng.Float64()*0.95,
+		}
+		if rng.Float64() < 0.7 {
+			ds.Until = at + (0.1+0.9*rng.Float64())*(s.Duration-at)
+			if ds.Until <= ds.At || ds.Until > s.Duration {
+				ds.Until = 0
+			}
+		}
+		s.Degrades = append(s.Degrades, ds)
+	}
+	var routers []int
+	for i, ns := range s.Nodes {
+		if ns.Router {
+			routers = append(routers, i)
+		}
+	}
+	if len(routers) > 0 && rng.Float64() < 0.5 {
+		at := s.Duration * (0.2 + 0.5*rng.Float64())
+		cs := scenario.CrashSpec{Node: routers[rng.IntN(len(routers))], At: at}
+		if rng.Float64() < 0.8 {
+			cs.RestartAt = at + (0.05+0.9*rng.Float64())*(s.Duration-at)
+			if cs.RestartAt <= cs.At || cs.RestartAt > s.Duration {
+				cs.RestartAt = 0
+			}
+		}
+		s.Crashes = append(s.Crashes, cs)
+	}
 }
 
 // genLink draws link parameters: a 30% chance of infinite rate, otherwise

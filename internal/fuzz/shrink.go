@@ -38,6 +38,7 @@ func Shrink(s *scenario.Scenario, rule string, budget int) (*scenario.Scenario, 
 		improved = false
 		for _, pass := range []func(*scenario.Scenario, func(*scenario.Scenario) bool) *scenario.Scenario{
 			dropWorkloads, reduceFlows, dropFailures, dropTaps, dropBlink,
+			dropGray, dropFlaps, dropDegrades, dropCrashes,
 			dropNodes, bypassNodes, roundParams,
 		} {
 			if next := pass(&cur, check); next != nil {
@@ -74,6 +75,34 @@ func dropTaps(s *scenario.Scenario, check func(*scenario.Scenario) bool) *scenar
 	return dropEach(s, check, func(c *scenario.Scenario) int { return len(c.Taps) },
 		func(c *scenario.Scenario, i int) {
 			c.Taps = append(c.Taps[:i:i], c.Taps[i+1:]...)
+		})
+}
+
+func dropGray(s *scenario.Scenario, check func(*scenario.Scenario) bool) *scenario.Scenario {
+	return dropEach(s, check, func(c *scenario.Scenario) int { return len(c.Gray) },
+		func(c *scenario.Scenario, i int) {
+			c.Gray = append(c.Gray[:i:i], c.Gray[i+1:]...)
+		})
+}
+
+func dropFlaps(s *scenario.Scenario, check func(*scenario.Scenario) bool) *scenario.Scenario {
+	return dropEach(s, check, func(c *scenario.Scenario) int { return len(c.Flaps) },
+		func(c *scenario.Scenario, i int) {
+			c.Flaps = append(c.Flaps[:i:i], c.Flaps[i+1:]...)
+		})
+}
+
+func dropDegrades(s *scenario.Scenario, check func(*scenario.Scenario) bool) *scenario.Scenario {
+	return dropEach(s, check, func(c *scenario.Scenario) int { return len(c.Degrades) },
+		func(c *scenario.Scenario, i int) {
+			c.Degrades = append(c.Degrades[:i:i], c.Degrades[i+1:]...)
+		})
+}
+
+func dropCrashes(s *scenario.Scenario, check func(*scenario.Scenario) bool) *scenario.Scenario {
+	return dropEach(s, check, func(c *scenario.Scenario) int { return len(c.Crashes) },
+		func(c *scenario.Scenario, i int) {
+			c.Crashes = append(c.Crashes[:i:i], c.Crashes[i+1:]...)
 		})
 }
 
@@ -152,6 +181,11 @@ func nodeReferenced(s *scenario.Scenario, i int) bool {
 	}
 	for _, t := range s.Taps {
 		if t.InjectPPS > 0 && t.InjectTo == i {
+			return true
+		}
+	}
+	for _, cs := range s.Crashes {
+		if cs.Node == i {
 			return true
 		}
 	}
@@ -353,6 +387,25 @@ func scaleTimes(c *scenario.Scenario, f float64) {
 	for i := range c.Taps {
 		c.Taps[i].InjectUntil *= f
 	}
+	for i := range c.Gray {
+		c.Gray[i].From *= f
+		c.Gray[i].Until *= f
+	}
+	for i := range c.Flaps {
+		c.Flaps[i].Start *= f
+		c.Flaps[i].End *= f
+		c.Flaps[i].MeanDown *= f
+		c.Flaps[i].MeanUp *= f
+		c.Flaps[i].MinDwell *= f
+	}
+	for i := range c.Degrades {
+		c.Degrades[i].At *= f
+		c.Degrades[i].Until *= f
+	}
+	for i := range c.Crashes {
+		c.Crashes[i].At *= f
+		c.Crashes[i].RestartAt *= f
+	}
 }
 
 // remapLinkRefs rewrites failure/tap link indices through linkMap (refs
@@ -377,6 +430,36 @@ func remapLinkRefs(c *scenario.Scenario, linkMap []int, node func(int) int) {
 		taps = append(taps, t)
 	}
 	c.Taps = taps
+	var gray []scenario.GraySpec
+	for _, g := range c.Gray {
+		if linkMap[g.Link] < 0 {
+			continue
+		}
+		g.Link = linkMap[g.Link]
+		gray = append(gray, g)
+	}
+	c.Gray = gray
+	var flaps []scenario.FlapSpec
+	for _, fl := range c.Flaps {
+		if linkMap[fl.Link] < 0 {
+			continue
+		}
+		fl.Link = linkMap[fl.Link]
+		flaps = append(flaps, fl)
+	}
+	c.Flaps = flaps
+	var degs []scenario.DegradeSpec
+	for _, d := range c.Degrades {
+		if linkMap[d.Link] < 0 {
+			continue
+		}
+		d.Link = linkMap[d.Link]
+		degs = append(degs, d)
+	}
+	c.Degrades = degs
+	for i := range c.Crashes {
+		c.Crashes[i].Node = node(c.Crashes[i].Node)
+	}
 	for i := range c.Workloads {
 		c.Workloads[i].From = node(c.Workloads[i].From)
 		c.Workloads[i].To = node(c.Workloads[i].To)

@@ -10,7 +10,10 @@
 // (float64 seconds); runs are bit-reproducible for a fixed seed.
 package netsim
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Engine is the discrete-event core: a virtual clock and an event queue.
 // Events at equal timestamps fire in scheduling order (stable FIFO), which
@@ -21,10 +24,50 @@ import "math"
 // (the backing array is reused across push/pop), and the (t, seq) key is a
 // total order, so the execution order is independent of heap shape.
 type Engine struct {
-	now   float64
-	seq   uint64
-	audit bool
-	pq    []event
+	now      float64
+	seq      uint64
+	audit    bool
+	budget   uint64
+	executed uint64
+	pq       []event
+}
+
+// LivelockError is the panic value delivered when an engine's event budget
+// is exhausted (SetEventBudget): a callback chain that self-schedules at
+// zero delay would otherwise spin the event loop forever without advancing
+// virtual time, turning a scenario bug into a silent hang. Harness layers
+// (internal/scenario, internal/runner) recover it into a diagnosable error.
+type LivelockError struct {
+	Budget  uint64  // the exhausted budget
+	Now     float64 // virtual time when the budget ran out
+	Pending int     // events still queued at that moment
+}
+
+// Error implements error.
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("netsim: event budget exhausted: %d events executed without draining (virtual time %.6g, %d pending) — likely a callback self-scheduling at zero delay; fix the scenario or raise SetEventBudget", e.Budget, e.Now, e.Pending)
+}
+
+// SetEventBudget installs a watchdog on the total number of events this
+// engine may execute across all Run/RunUntil calls; exceeding it panics
+// with *LivelockError. 0 (the default) disables the watchdog. The audit
+// layer and fuzzing campaigns set generous budgets so a zero-delay
+// self-scheduling loop surfaces as a diagnosable failure instead of a
+// wall-clock hang.
+func (e *Engine) SetEventBudget(n uint64) { e.budget = n }
+
+// EventBudget returns the installed event budget (0 = off).
+func (e *Engine) EventBudget() uint64 { return e.budget }
+
+// Executed returns the total number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// checkBudget enforces the event-budget watchdog after each executed event.
+func (e *Engine) checkBudget() {
+	e.executed++
+	if e.budget != 0 && e.executed > e.budget {
+		panic(&LivelockError{Budget: e.budget, Now: e.now, Pending: len(e.pq)})
+	}
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -86,6 +129,7 @@ func (e *Engine) RunUntil(t float64) int {
 		e.now = ev.t
 		ev.fn()
 		n++
+		e.checkBudget()
 	}
 	if e.now < t {
 		e.now = t
@@ -105,6 +149,7 @@ func (e *Engine) Run() int {
 		e.now = ev.t
 		ev.fn()
 		n++
+		e.checkBudget()
 	}
 	return n
 }

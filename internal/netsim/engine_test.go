@@ -144,3 +144,44 @@ func TestEngineClockMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEngineEventBudgetTripsOnLivelock(t *testing.T) {
+	e := NewEngine()
+	e.SetEventBudget(1000)
+	var spin func()
+	spin = func() { e.After(0, spin) } // classic zero-delay self-scheduler
+	e.At(1, spin)
+	defer func() {
+		le, ok := recover().(*LivelockError)
+		if !ok {
+			t.Fatalf("expected *LivelockError panic, got %v", le)
+		}
+		if le.Budget != 1000 || le.Now != 1 {
+			t.Fatalf("LivelockError = %+v", le)
+		}
+		if le.Error() == "" {
+			t.Fatal("empty error message")
+		}
+	}()
+	e.Run()
+	t.Fatal("Run returned despite livelock")
+}
+
+func TestEngineNoBudgetMeansNoTrip(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var spin func()
+	spin = func() {
+		if n++; n < 100000 {
+			e.After(0, spin)
+		}
+	}
+	e.At(1, spin)
+	e.Run() // no budget set: a long (but finite) zero-delay chain completes
+	if n != 100000 {
+		t.Fatalf("n = %d", n)
+	}
+	if e.Executed() != 100000 {
+		t.Fatalf("Executed = %d", e.Executed())
+	}
+}

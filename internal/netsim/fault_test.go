@@ -1,0 +1,122 @@
+package netsim_test
+
+import (
+	"testing"
+
+	. "dui/internal/netsim"
+	"dui/internal/packet"
+)
+
+// faultFunc adapts a function to the LinkFault interface for tests.
+type faultFunc func(now float64, p *packet.Packet, dir Direction) FaultVerdict
+
+func (f faultFunc) Apply(now float64, p *packet.Packet, dir Direction) FaultVerdict {
+	return f(now, p, dir)
+}
+
+// sendConservation checks the send-layer identity on one link direction.
+func sendConservation(t *testing.T, l *Link, dir Direction) {
+	t.Helper()
+	s := l.Stats(dir)
+	_, _, held := l.Occupancy(dir)
+	if s.Offered+s.Injected+s.Duplicated != s.TapDrop+s.FaultDrop+uint64(held)+s.Sent {
+		t.Fatalf("send conservation broken: %+v held=%d", s, held)
+	}
+}
+
+// TestLinkFaultDrop pins the drop path: a fault-dropped packet is counted
+// as FaultDrop, never enters the queue, and the send-layer conservation
+// identity stays balanced.
+func TestLinkFaultDrop(t *testing.T) {
+	nw, h1, h2, links := lineNet(0, 0.01, 0)
+	delivered := 0
+	h2.SetReceiver(ReceiverFunc(func(now float64, p *packet.Packet) { delivered++ }))
+	links[0].SetFault(faultFunc(func(now float64, p *packet.Packet, dir Direction) FaultVerdict {
+		return FaultVerdict{Drop: true}
+	}))
+	for i := 0; i < 3; i++ {
+		h1.Send(packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{Seq: uint32(i)}, 1000))
+	}
+	nw.RunUntil(10)
+	if delivered != 0 {
+		t.Fatalf("delivered = %d, want 0", delivered)
+	}
+	s := links[0].Stats(AToB)
+	if s.FaultDrop != 3 || s.Sent != 0 || s.Offered != 3 {
+		t.Fatalf("stats = %+v, want FaultDrop=3 Sent=0 Offered=3", s)
+	}
+	sendConservation(t, links[0], AToB)
+}
+
+// TestLinkFaultDuplicate pins the duplication path: each duplicate is a
+// fresh clone (the hot path mutates TTL in place), is counted as
+// Duplicated, and both copies are delivered.
+func TestLinkFaultDuplicate(t *testing.T) {
+	nw, h1, h2, links := lineNet(0, 0.01, 0)
+	delivered := 0
+	h2.SetReceiver(ReceiverFunc(func(now float64, p *packet.Packet) { delivered++ }))
+	links[0].SetFault(faultFunc(func(now float64, p *packet.Packet, dir Direction) FaultVerdict {
+		return FaultVerdict{Duplicate: 1}
+	}))
+	for i := 0; i < 2; i++ {
+		h1.Send(packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{Seq: uint32(i)}, 1000))
+	}
+	nw.RunUntil(10)
+	if delivered != 4 {
+		t.Fatalf("delivered = %d, want 4 (each packet doubled)", delivered)
+	}
+	s := links[0].Stats(AToB)
+	if s.Duplicated != 2 || s.Sent != 4 || s.Offered != 2 {
+		t.Fatalf("stats = %+v, want Duplicated=2 Sent=4 Offered=2", s)
+	}
+	sendConservation(t, links[0], AToB)
+}
+
+// TestLinkFaultReplaceDoesNotMutateOriginal pins the corruption contract:
+// Replace substitutes a clone, so the sender's packet value is untouched
+// while the receiver sees the corrupted copy.
+func TestLinkFaultReplaceDoesNotMutateOriginal(t *testing.T) {
+	nw, h1, h2, links := lineNet(0, 0.01, 0)
+	var gotSeq uint32
+	h2.SetReceiver(ReceiverFunc(func(now float64, p *packet.Packet) { gotSeq = p.TCP.Seq }))
+	links[0].SetFault(faultFunc(func(now float64, p *packet.Packet, dir Direction) FaultVerdict {
+		c := p.Clone()
+		c.TCP.Seq ^= 0xDEAD
+		return FaultVerdict{Replace: c}
+	}))
+	orig := packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{Seq: 7}, 1000)
+	h1.Send(orig)
+	nw.RunUntil(10)
+	if gotSeq != 7^0xDEAD {
+		t.Fatalf("received Seq = %d, want the corrupted %d", gotSeq, 7^0xDEAD)
+	}
+	if orig.TCP.Seq != 7 {
+		t.Fatalf("original packet mutated: Seq = %d", orig.TCP.Seq)
+	}
+	sendConservation(t, links[0], AToB)
+}
+
+// TestLinkFaultDelayHoldsOccupancy pins the jitter path: a fault-delayed
+// packet is held (occupancy-visible, conservation-balanced) and enters
+// the queue only after the delay elapses.
+func TestLinkFaultDelayHoldsOccupancy(t *testing.T) {
+	nw, h1, h2, links := lineNet(0, 0.01, 0)
+	var deliveredAt float64
+	h2.SetReceiver(ReceiverFunc(func(now float64, p *packet.Packet) { deliveredAt = now }))
+	links[0].SetFault(faultFunc(func(now float64, p *packet.Packet, dir Direction) FaultVerdict {
+		return FaultVerdict{Delay: 0.5}
+	}))
+	h1.Send(packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{Seq: 1}, 1000))
+	nw.Engine().At(0.25, func() {
+		if _, _, held := links[0].Occupancy(AToB); held != 1 {
+			t.Errorf("held = %d mid-delay, want 1", held)
+		}
+		sendConservation(t, links[0], AToB)
+	})
+	nw.RunUntil(10)
+	// 0.5 s hold on the first hop, then 3 hops x 10 ms propagation.
+	if want := 0.5 + 3*0.01; deliveredAt != want {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+	sendConservation(t, links[0], AToB)
+}

@@ -25,4 +25,12 @@ var DebugHooks struct {
 	// packets enter the link uncounted in LinkStats.Injected (caught by
 	// the audit "send-conservation" rule).
 	SkipInjectedCount bool
+	// SkipFaultDropCount miscounts the fault plane: packets dropped as
+	// gray-failure loss never increment LinkStats.FaultDrop (caught by the
+	// audit "send-conservation" rule).
+	SkipFaultDropCount bool
+	// SkipDuplicatedCount miscounts the fault plane: extra copies created
+	// by duplication enter the link uncounted in LinkStats.Duplicated
+	// (caught by the audit "send-conservation" rule).
+	SkipDuplicatedCount bool
 }

@@ -2,6 +2,28 @@ package netsim
 
 import "dui/internal/packet"
 
+// FaultVerdict is what the fault plane decides about one packet entering a
+// link direction. The zero value passes the packet through untouched. Drop
+// is final: a dropped packet is never duplicated, delayed, or replaced.
+type FaultVerdict struct {
+	Drop      bool           // discard, counted as LinkStats.FaultDrop
+	Duplicate int            // extra copies to enqueue (counted as Duplicated)
+	Delay     float64        // extra seconds before the packet enters the queue
+	Replace   *packet.Packet // if non-nil, forward this (e.g. corrupted) packet instead
+}
+
+// LinkFault is the benign-fault counterpart of Tap: a per-link stage that
+// models gray failure — stochastic loss, corruption, duplication, and
+// latency jitter — on packets entering one direction of the link. Unlike a
+// tap it is not an attacker privilege; it belongs to the environment, so it
+// sees injected traffic too. Implementations live in internal/faults and
+// must be deterministic functions of their own seeded RNG stream.
+type LinkFault interface {
+	// Apply is called once per packet entering the link, after the tap
+	// chain (and any tap-imposed delay) and before queueing.
+	Apply(now float64, p *packet.Packet, dir Direction) FaultVerdict
+}
+
 // Direction distinguishes the two directions of a (full-duplex) link.
 type Direction int
 
@@ -52,27 +74,29 @@ func (in *Injector) Inject(p *packet.Packet, dir Direction) {
 	if !DebugHooks.SkipInjectedCount {
 		in.link.dir[dir].stats.Injected++
 	}
-	in.link.enqueue(p, dir)
+	in.link.ingress(p, dir)
 }
 
 // LinkStats counts per-direction link activity. The counters satisfy two
 // conservation identities that internal/audit checks:
 //
-//	Offered + Injected == TapDrop + held + Sent
+//	Offered + Injected + Duplicated == TapDrop + FaultDrop + held + Sent
 //	Sent == Delivered + QueueDrop + DownDrop + queued + onWire
 //
 // where (queued, onWire, held) is the instantaneous Occupancy; once the
 // link drains all three occupancy terms are zero and the identities become
 // exact equalities over the counters alone.
 type LinkStats struct {
-	Offered   uint64 // packets presented by the attached nodes (before taps)
-	Injected  uint64 // packets originated by a MitM injector (bypass taps)
-	Sent      uint64 // packets that entered the link, including ones then lost to down/drop-tail
-	Delivered uint64 // packets handed to the far node
-	QueueDrop uint64 // drop-tail losses
-	DownDrop  uint64 // lost to link-down: arrived while down, or queued when the link failed
-	TapDrop   uint64 // dropped by a MitM tap
-	Bytes     uint64 // bytes delivered
+	Offered    uint64 // packets presented by the attached nodes (before taps)
+	Injected   uint64 // packets originated by a MitM injector (bypass taps)
+	Duplicated uint64 // extra copies created by the fault plane
+	Sent       uint64 // packets that entered the link, including ones then lost to down/drop-tail
+	Delivered  uint64 // packets handed to the far node
+	QueueDrop  uint64 // drop-tail losses
+	DownDrop   uint64 // lost to link-down: arrived while down, or queued when the link failed
+	TapDrop    uint64 // dropped by a MitM tap
+	FaultDrop  uint64 // dropped by the fault plane (gray-failure loss)
+	Bytes      uint64 // bytes delivered
 }
 
 // LinkEventKind labels one probe observation on a link (see LinkProbe).
@@ -83,6 +107,9 @@ type LinkEventKind uint8
 // LinkQueueDrop when the packet is immediately lost. LinkFailDrop reports
 // a queued packet flushed by a link failure; the packet itself is no
 // longer available, so the probe receives a nil *packet.Packet.
+// LinkFaultDrop reports a packet lost to the fault plane; LinkDuplicated
+// fires once per extra copy the fault plane creates, after the copy's own
+// LinkSent.
 const (
 	LinkSent LinkEventKind = iota
 	LinkDelivered
@@ -90,6 +117,8 @@ const (
 	LinkDownDrop
 	LinkTapDrop
 	LinkFailDrop
+	LinkFaultDrop
+	LinkDuplicated
 )
 
 // String names the event kind for traces and diagnostics.
@@ -107,6 +136,10 @@ func (k LinkEventKind) String() string {
 		return "tapdrop"
 	case LinkFailDrop:
 		return "faildrop"
+	case LinkFaultDrop:
+		return "faultdrop"
+	case LinkDuplicated:
+		return "duplicated"
 	}
 	return "unknown"
 }
@@ -131,8 +164,9 @@ type Link struct {
 	Delay    float64
 	QueueCap int
 
-	up   bool
-	taps []Tap
+	up    bool
+	taps  []Tap
+	fault LinkFault
 
 	dir [2]linkDir
 }
@@ -141,7 +175,7 @@ type linkDir struct {
 	busyUntil float64
 	qlen      int    // packets queued or serializing (not yet on the wire)
 	onWire    int    // packets past serialization, propagating toward the peer
-	tapHeld   int    // packets held in a tap-imposed delay, not yet on the link
+	tapHeld   int    // packets held in a tap- or fault-imposed delay, not yet on the link
 	epoch     uint64 // bumped on link failure; queued packets from older epochs are gone
 	stats     LinkStats
 }
@@ -186,7 +220,8 @@ func (l *Link) Stats(dir Direction) LinkStats { return l.dir[dir].stats }
 
 // Occupancy returns the instantaneous packet population of one direction:
 // queued packets awaiting (or in) serialization, packets on the wire, and
-// packets held by a delaying tap. All three are zero once the link drains.
+// packets held by a delaying tap or fault stage. All three are zero once
+// the link drains.
 func (l *Link) Occupancy(dir Direction) (queued, onWire, tapHeld int) {
 	d := &l.dir[dir]
 	return d.qlen, d.onWire, d.tapHeld
@@ -219,6 +254,11 @@ func (l *Link) AttachTap(t Tap) *Injector {
 	l.taps = append(l.taps, t)
 	return &Injector{link: l}
 }
+
+// SetFault installs the link's fault stage (nil removes it). A link has
+// one fault slot; compose several fault processes with faults.Multi rather
+// than stacking calls — a second SetFault replaces the first.
+func (l *Link) SetFault(f LinkFault) { l.fault = f }
 
 // directionFrom returns the travel direction for a packet sent by n.
 func (l *Link) directionFrom(n *Node) Direction {
@@ -259,11 +299,62 @@ func (l *Link) send(from *Node, p *packet.Packet) {
 		pp := p
 		l.net.eng.After(delay, func() {
 			d.tapHeld--
-			l.enqueue(pp, dir)
+			l.ingress(pp, dir)
 		})
 		return
 	}
+	l.ingress(p, dir)
+}
+
+// ingress is the fault-plane stage between the tap chain (or injector) and
+// the queue. With no fault installed the cost is one nil check; otherwise
+// the verdict may drop the packet (FaultDrop), substitute a corrupted copy,
+// hold it (counted in the tapHeld occupancy term, like a tap delay), or
+// append duplicate copies.
+func (l *Link) ingress(p *packet.Packet, dir Direction) {
+	if l.fault == nil {
+		l.enqueue(p, dir)
+		return
+	}
+	v := l.fault.Apply(l.net.eng.Now(), p, dir)
+	if v.Drop {
+		d := &l.dir[dir]
+		if !DebugHooks.SkipFaultDropCount {
+			d.stats.FaultDrop++
+		}
+		l.net.probeLink(LinkFaultDrop, l, dir, p)
+		return
+	}
+	if v.Replace != nil {
+		p = v.Replace
+	}
+	if v.Delay > 0 {
+		d := &l.dir[dir]
+		d.tapHeld++
+		pp, dup := p, v.Duplicate
+		l.net.eng.After(v.Delay, func() {
+			d.tapHeld--
+			l.faultEnqueue(pp, dir, dup)
+		})
+		return
+	}
+	l.faultEnqueue(p, dir, v.Duplicate)
+}
+
+// faultEnqueue enqueues p plus dup fault-plane copies. Each copy is counted
+// in Duplicated before its own enqueue, so the send-layer conservation
+// identity balances at every probe, and is cloned because forwarding
+// mutates TTL in place.
+func (l *Link) faultEnqueue(p *packet.Packet, dir Direction, dup int) {
 	l.enqueue(p, dir)
+	d := &l.dir[dir]
+	for i := 0; i < dup; i++ {
+		if !DebugHooks.SkipDuplicatedCount {
+			d.stats.Duplicated++
+		}
+		l.enqueue(p.Clone(), dir)
+		l.net.probeLink(LinkDuplicated, l, dir, p)
+	}
 }
 
 // enqueue models serialization, queueing, propagation, and drop-tail loss.

@@ -2,11 +2,31 @@ package runner
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// TrialPanicError reports a trial function that panicked. The panic is
+// recovered inside the worker, so a poisoned trial never takes down the
+// pool: its siblings run to completion and only the panicking index is
+// missing from the results. Run still returns the first error in
+// trial-index order, so the caller sees the panic as an ordinary error
+// carrying the trial index and the captured stack.
+type TrialPanicError struct {
+	Index int    // the trial that panicked
+	Value any    // the recovered panic value
+	Stack []byte // debug.Stack() captured at recovery
+}
+
+// Error implements error.
+func (e *TrialPanicError) Error() string {
+	return fmt.Sprintf("runner: trial %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
 
 // Trial identifies one unit of work handed to a trial function: its index
 // in [0, n) and the seed derived for it from the root seed. The zero
@@ -76,6 +96,12 @@ func splitmix64(x *uint64) uint64 {
 // documentation for the determinism and cancellation contracts. On error
 // or cancellation the returned slice holds only the trials that
 // completed; the rest are zero values.
+//
+// A returned error cancels the outstanding trials; a panic does not: it is
+// recovered into a *TrialPanicError for that index while every sibling
+// trial still runs to completion, so one poisoned seed in a sweep costs
+// exactly one result. When several trials fail, the error for the lowest
+// trial index is returned.
 func Run[T any](ctx context.Context, n int, root uint64, cfg Config, fn func(ctx context.Context, t Trial) (T, error)) ([]T, error) {
 	results := make([]T, max(n, 0))
 	if n <= 0 {
@@ -108,9 +134,13 @@ func Run[T any](ctx context.Context, n int, root uint64, cfg Config, fn func(ctx
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				r, err := fn(ctx, Trial{Index: i, Seed: seeds[i], tr: tr})
+				r, err := runTrial(ctx, fn, Trial{Index: i, Seed: seeds[i], tr: tr})
 				if err != nil {
 					errs[i] = err
+					var pe *TrialPanicError
+					if errors.As(err, &pe) {
+						continue // a poisoned trial must not cancel its siblings
+					}
 					cancel() // stop the other workers
 					return
 				}
@@ -127,6 +157,18 @@ func Run[T any](ctx context.Context, n int, root uint64, cfg Config, fn func(ctx
 		}
 	}
 	return results, parent.Err()
+}
+
+// runTrial invokes fn with panic isolation: a panic becomes a
+// *TrialPanicError carrying the trial index and the stack at the panic
+// site, leaving the worker goroutine intact.
+func runTrial[T any](ctx context.Context, fn func(ctx context.Context, t Trial) (T, error), t Trial) (r T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &TrialPanicError{Index: t.Index, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, t)
 }
 
 // Map runs fn over items on the pool, returning outputs in item order.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -190,5 +191,63 @@ func BenchmarkRunOverhead(b *testing.B) {
 					func(_ context.Context, tr Trial) (uint64, error) { return tr.Seed, nil })
 			}
 		})
+	}
+}
+
+// TestPanicIsolation pins the poisoned-trial contract: one panicking
+// trial becomes a TrialPanicError carrying its index and stack, while
+// every other trial still completes and keeps its result.
+func TestPanicIsolation(t *testing.T) {
+	out, err := Run(context.Background(), 8, 1, Config{Workers: 4},
+		func(_ context.Context, tr Trial) (int, error) {
+			if tr.Index == 3 {
+				panic("poisoned scenario")
+			}
+			return tr.Index * 10, nil
+		})
+	var pe *TrialPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *TrialPanicError", err)
+	}
+	if pe.Index != 3 {
+		t.Fatalf("panic index = %d, want 3", pe.Index)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error carries no stack")
+	}
+	for i, v := range out {
+		if i == 3 {
+			continue // the poisoned slot holds the zero value
+		}
+		if v != i*10 {
+			t.Fatalf("out[%d] = %d — sibling trial lost to the panic", i, v)
+		}
+	}
+}
+
+// TestPanicDoesNotCancelSiblings runs the poisoned trial first and checks
+// that later trials still execute (a panic must not cancel the pool the
+// way an ordinary error does).
+func TestPanicDoesNotCancelSiblings(t *testing.T) {
+	ran := make([]bool, 8)
+	var mu sync.Mutex
+	_, err := Run(context.Background(), 8, 1, Config{Workers: 1},
+		func(_ context.Context, tr Trial) (int, error) {
+			mu.Lock()
+			ran[tr.Index] = true
+			mu.Unlock()
+			if tr.Index == 0 {
+				panic("first trial poisoned")
+			}
+			return 0, nil
+		})
+	var pe *TrialPanicError
+	if !errors.As(err, &pe) || pe.Index != 0 {
+		t.Fatalf("err = %v, want *TrialPanicError at index 0", err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("trial %d never ran after the index-0 panic", i)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"dui/internal/audit"
 	"dui/internal/blink"
+	"dui/internal/faults"
 	"dui/internal/netsim"
 	"dui/internal/packet"
 	"dui/internal/stats"
@@ -99,7 +100,65 @@ func Build(s *Scenario) *Built {
 			eng.At(up, func() { l.SetUp(true) })
 		}
 	}
+	b.buildFaults()
 	return b
+}
+
+// buildFaults wires the fault plane: gray processes composed per link
+// (faults.Multi — a link has one fault slot), flap/degrade/crash
+// schedules on the engine. RNG stream bases: 3000+i for gray spec i,
+// 4000+i for flap spec i — disjoint from workloads (1000+) and taps
+// (2000+), so adding fault specs never perturbs existing draws.
+func (b *Built) buildFaults() {
+	s := b.scn
+	if !s.HasFaults() {
+		return
+	}
+	eng := b.Net.Engine()
+	links := b.Net.Links()
+	perLink := make([][]netsim.LinkFault, len(links))
+	for gi, gs := range s.Gray {
+		cfg := faults.GrayConfig{
+			LossP: gs.LossP, CorruptP: gs.CorruptP, DupP: gs.DupP,
+			JitterP: gs.JitterP, Jitter: gs.Jitter,
+			From: gs.From, Until: gs.Until,
+		}
+		if cfg.Until == 0 {
+			cfg.Until = s.Duration // the drain always runs fault-free
+		}
+		g := faults.NewGrayDir(cfg, netsim.Direction(gs.Dir), stats.ChildAt(s.Seed, 3000+uint64(gi)))
+		perLink[gs.Link] = append(perLink[gs.Link], g)
+	}
+	for li, fs := range perLink {
+		switch len(fs) {
+		case 0:
+		case 1:
+			links[li].SetFault(fs[0])
+		default:
+			links[li].SetFault(faults.Multi(fs))
+		}
+	}
+	for fi, fs := range s.Flaps {
+		faults.ScheduleFlap(eng, links[fs.Link], faults.FlapConfig{
+			Start: fs.Start, End: fs.End,
+			MeanDown: fs.MeanDown, MeanUp: fs.MeanUp, MinDwell: fs.MinDwell,
+		}, stats.ChildAt(s.Seed, 4000+uint64(fi)))
+	}
+	for _, ds := range s.Degrades {
+		faults.ScheduleDegrade(eng, links[ds.Link], faults.DegradeConfig{
+			At: ds.At, Until: ds.Until, Factor: ds.Factor,
+		})
+	}
+	for _, cs := range s.Crashes {
+		var onRestart func(float64)
+		if s.Blink != nil && cs.Node == s.Blink.Router && b.Pipe != nil {
+			pipe := b.Pipe
+			onRestart = func(now float64) { pipe.Restart(now) }
+		}
+		faults.ScheduleCrash(eng, b.nodes[cs.Node], faults.CrashConfig{
+			At: cs.At, RestartAt: cs.RestartAt,
+		}, onRestart)
+	}
 }
 
 // buildTap installs tap ti: the intercept function (drops/delays on the

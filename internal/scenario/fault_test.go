@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// withFaults clones the chain scenario and strips the classic failure/tap
+// noise so each fault mode is exercised in isolation.
+func withFaults(mut func(*Scenario)) *Scenario {
+	s := chain()
+	s.Failures = nil
+	s.Taps = nil
+	mut(s)
+	return s
+}
+
+// TestFaultModesRunClean is the core robustness contract: every benign
+// fault mode must run under the full oracle stack — conservation
+// identities, shadow counters, determinism double-run, quiescence — with
+// zero violations. The faults are environment, not bugs.
+func TestFaultModesRunClean(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"gray-loss", func(s *Scenario) { s.Gray = []GraySpec{{Link: 1, LossP: 0.3}} }},
+		{"gray-dup", func(s *Scenario) { s.Gray = []GraySpec{{Link: 1, DupP: 0.3}} }},
+		{"gray-corrupt", func(s *Scenario) { s.Gray = []GraySpec{{Link: 1, CorruptP: 0.3}} }},
+		{"gray-jitter", func(s *Scenario) { s.Gray = []GraySpec{{Link: 1, Jitter: 0.05, JitterP: 0.5}} }},
+		{"gray-windowed-all", func(s *Scenario) {
+			s.Gray = []GraySpec{{Link: 1, LossP: 0.2, DupP: 0.2, CorruptP: 0.2, Jitter: 0.02, From: 1, Until: 4}}
+		}},
+		{"gray-stacked", func(s *Scenario) {
+			s.Gray = []GraySpec{{Link: 1, LossP: 0.2}, {Link: 1, Dir: 1, DupP: 0.2}}
+		}},
+		{"flap", func(s *Scenario) {
+			s.Flaps = []FlapSpec{{Link: 1, Start: 1, End: 4, MeanDown: 0.2, MeanUp: 0.4, MinDwell: 0.05}}
+		}},
+		{"degrade", func(s *Scenario) {
+			s.Degrades = []DegradeSpec{{Link: 1, At: 1, Until: 3, Factor: 0.1}}
+		}},
+		{"degrade-forever", func(s *Scenario) {
+			s.Degrades = []DegradeSpec{{Link: 1, At: 1, Factor: 0.25}}
+		}},
+		{"crash-restart", func(s *Scenario) {
+			s.Crashes = []CrashSpec{{Node: 1, At: 2, RestartAt: 3}}
+		}},
+		{"crash-forever", func(s *Scenario) {
+			s.Crashes = []CrashSpec{{Node: 1, At: 2}}
+		}},
+		{"everything", func(s *Scenario) {
+			s.Gray = []GraySpec{{Link: 0, LossP: 0.1, Jitter: 0.01}}
+			s.Flaps = []FlapSpec{{Link: 1, Start: 1, End: 3, MeanDown: 0.2, MeanUp: 0.4, MinDwell: 0.05}}
+			s.Degrades = []DegradeSpec{{Link: 1, At: 3, Until: 4, Factor: 0.5}}
+			s.Crashes = []CrashSpec{{Node: 2, At: 2, RestartAt: 2.5}}
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := withFaults(tc.mut)
+			rep := RunChecked(s, Options{})
+			if rep.Failed() {
+				t.Fatalf("fault mode violated the oracles: %v", rep.Violations)
+			}
+			if rep.EventCount == 0 {
+				t.Fatal("scenario carried no traffic")
+			}
+		})
+	}
+}
+
+// TestFaultPlaneReachesSimulation guards against a silently disconnected
+// fault plane: adding a total-loss gray process must change the trace.
+func TestFaultPlaneReachesSimulation(t *testing.T) {
+	base := withFaults(func(*Scenario) {})
+	faulty := withFaults(func(s *Scenario) { s.Gray = []GraySpec{{Link: 1, LossP: 1}} })
+	a := RunChecked(base, Options{})
+	b := RunChecked(faulty, Options{})
+	if a.Failed() || b.Failed() {
+		t.Fatalf("violations: %v / %v", a.Violations, b.Violations)
+	}
+	if a.TraceHash == b.TraceHash {
+		t.Fatal("total-loss gray process left the trace unchanged — fault plane not wired")
+	}
+	if b.Delivered >= a.Delivered {
+		t.Fatalf("total loss on the bottleneck delivered %d >= %d", b.Delivered, a.Delivered)
+	}
+}
+
+// TestBlinkRouterCrashRestartRunsClean pins the crash/restart path through
+// the Blink pipeline: the router loses its monitor state and routes back
+// to the primary, and every oracle still holds.
+func TestBlinkRouterCrashRestartRunsClean(t *testing.T) {
+	s := &Scenario{
+		Name: "blink-crash", Seed: 3, Duration: 8,
+		Nodes: []NodeSpec{
+			{Name: "ingress"}, {Name: "rB", Router: true},
+			{Name: "rGood", Router: true}, {Name: "rAlt", Router: true}, {Name: "victim"},
+		},
+		Links: []LinkSpec{
+			{A: 0, B: 1, Delay: 0.001},
+			{A: 1, B: 2, Delay: 0.005},
+			{A: 1, B: 3, Delay: 0.005},
+			{A: 2, B: 4, Delay: 0.005},
+			{A: 3, B: 4, Delay: 0.005},
+		},
+		Workloads: []WorkloadSpec{
+			{Kind: KindLegit, From: 0, To: 4, Flows: 16, PPS: 4, Until: 8, MeanDur: 3},
+		},
+		Blink:   &BlinkSpec{Router: 1, Victim: 4, NextHops: []int{2, 3}, Cells: 16},
+		Crashes: []CrashSpec{{Node: 1, At: 3, RestartAt: 4}},
+	}
+	rep := RunChecked(s, Options{})
+	if rep.Failed() {
+		t.Fatalf("Blink crash/restart violated the oracles: %v", rep.Violations)
+	}
+}
+
+// TestFaultSpecValidation covers the new Validate clauses.
+func TestFaultSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"gray-bad-link", func(s *Scenario) { s.Gray = []GraySpec{{Link: 99, LossP: 0.1}} }},
+		{"gray-bad-prob", func(s *Scenario) { s.Gray = []GraySpec{{Link: 1, LossP: 1.5}} }},
+		{"gray-bad-window", func(s *Scenario) { s.Gray = []GraySpec{{Link: 1, LossP: 0.1, From: 3, Until: 2}} }},
+		{"flap-bad-window", func(s *Scenario) {
+			s.Flaps = []FlapSpec{{Link: 1, Start: 3, End: 3, MeanDown: 0.1, MeanUp: 0.1}}
+		}},
+		{"flap-bad-mean", func(s *Scenario) {
+			s.Flaps = []FlapSpec{{Link: 1, Start: 1, End: 3, MeanDown: 0, MeanUp: 0.1}}
+		}},
+		{"degrade-bad-factor", func(s *Scenario) {
+			s.Degrades = []DegradeSpec{{Link: 1, At: 1, Factor: 0}}
+		}},
+		{"crash-non-router", func(s *Scenario) { s.Crashes = []CrashSpec{{Node: 0, At: 1}} }},
+		{"crash-bad-restart", func(s *Scenario) {
+			s.Crashes = []CrashSpec{{Node: 1, At: 2, RestartAt: 1}}
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := withFaults(tc.mut)
+			if err := s.Validate(); err == nil {
+				t.Fatal("invalid fault spec passed Validate")
+			}
+			rep := Run(s, Options{})
+			if !rep.HasRule(RuleInvalid) {
+				t.Fatalf("Run rules = %v, want %s", rep.Rules(), RuleInvalid)
+			}
+		})
+	}
+}

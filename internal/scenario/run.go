@@ -23,7 +23,16 @@ const (
 	// RuleReroute: a Blink failover executed without the threshold number
 	// of in-window retransmitting cells behind it.
 	RuleReroute = "reroute-threshold"
+	// RuleLivelock: the engine's event budget ran out — a callback chain
+	// self-scheduled at zero delay without advancing virtual time.
+	RuleLivelock = "livelock"
 )
+
+// runEventBudget is the engine event budget Run installs: far above any
+// legitimate scenario run, so the only way to exhaust it is a zero-delay
+// self-scheduling loop, which then surfaces as a RuleLivelock violation
+// in seconds instead of a wall-clock hang.
+const runEventBudget = 1 << 26
 
 // Options controls what a Run retains beyond the verdict.
 type Options struct {
@@ -85,6 +94,12 @@ func (r *Report) HasRule(rule string) bool {
 func Run(s *Scenario, opts Options) (rep Report) {
 	defer func() {
 		if r := recover(); r != nil {
+			if le, ok := r.(*netsim.LivelockError); ok {
+				rep.Violations = append(rep.Violations, audit.Violation{
+					T: le.Now, Rule: RuleLivelock, Detail: le.Error(),
+				})
+				return
+			}
 			rep.Violations = append(rep.Violations, audit.Violation{
 				Rule: RulePanic, Detail: fmt.Sprint(r),
 			})
@@ -98,6 +113,7 @@ func Run(s *Scenario, opts Options) (rep Report) {
 	}
 	b := Build(s)
 	nw := b.Net
+	nw.Engine().SetEventBudget(runEventBudget)
 	nw.RunUntil(s.Duration)
 
 	// Drain: no new traffic enters after Duration (workloads and injection
@@ -179,9 +195,19 @@ func drainDeadline(s *Scenario, nw *netsim.Network) float64 {
 		}
 	}
 	maxTx, maxDelay := 0.0, 0.0
-	for _, ls := range s.Links {
+	for li, ls := range s.Links {
 		if ls.RateBps > 0 {
-			if tx := 1500 * 8 / ls.RateBps; tx > maxTx {
+			// A degraded link serializes slower; packets enqueued during
+			// the degraded window keep their slow serialization even after
+			// the rate is restored, so the bound uses each link's worst
+			// (most degraded) rate over the whole run.
+			rate := ls.RateBps
+			for _, ds := range s.Degrades {
+				if ds.Link == li {
+					rate *= ds.Factor
+				}
+			}
+			if tx := 1500 * 8 / rate; tx > maxTx {
 				maxTx = tx
 			}
 		}
@@ -192,6 +218,12 @@ func drainDeadline(s *Scenario, nw *netsim.Network) float64 {
 	tapDelay := 0.0
 	for _, ts := range s.Taps {
 		tapDelay += ts.Delay
+	}
+	// Gray jitter holds a packet past Duration by at most Jitter (the
+	// processes themselves go quiet at Duration, so held packets are the
+	// only fault-plane contribution to the drain).
+	for _, gs := range s.Gray {
+		tapDelay += gs.Jitter
 	}
 	pop := float64(2*occ + 2)
 	perHop := pop*maxTx + maxDelay + tapDelay

@@ -38,6 +38,15 @@ type Scenario struct {
 	Failures  []FailureSpec  `json:"failures,omitempty"`
 	Taps      []TapSpec      `json:"taps,omitempty"`
 	Blink     *BlinkSpec     `json:"blink,omitempty"`
+
+	// The benign-fault plane (internal/faults): gray failure, flapping,
+	// bandwidth degradation, and router crash/restart. All empty by
+	// default — a scenario without fault specs builds and runs exactly as
+	// before the fault plane existed.
+	Gray     []GraySpec    `json:"gray,omitempty"`
+	Flaps    []FlapSpec    `json:"flaps,omitempty"`
+	Degrades []DegradeSpec `json:"degrades,omitempty"`
+	Crashes  []CrashSpec   `json:"crashes,omitempty"`
 }
 
 // NodeSpec is one node. Hosts get the deterministic address 10.<index>.0.1
@@ -121,6 +130,63 @@ type TapSpec struct {
 	InjectPPS   float64 `json:"inject_pps,omitempty"`
 	InjectUntil float64 `json:"inject_until,omitempty"`
 	InjectTo    int     `json:"inject_to,omitempty"`
+}
+
+// GraySpec applies a seed-deterministic gray-failure process (faults.Gray)
+// to one direction of a link: per-packet loss, corruption, duplication,
+// and latency jitter. The process's RNG stream is stats.ChildAt(seed,
+// 3000+i) for the i-th spec.
+type GraySpec struct {
+	Link int `json:"link"`
+	// Dir is the direction acted on (0 = AToB, 1 = BToA).
+	Dir int `json:"dir,omitempty"`
+	// Per-packet probabilities, each in [0, 1].
+	LossP    float64 `json:"loss_p,omitempty"`
+	CorruptP float64 `json:"corrupt_p,omitempty"`
+	DupP     float64 `json:"dup_p,omitempty"`
+	// Jitter is the max extra per-packet delay (uniform in [0, Jitter));
+	// JitterP is the probability it applies (0 = always, when Jitter > 0).
+	JitterP float64 `json:"jitter_p,omitempty"`
+	Jitter  float64 `json:"jitter,omitempty"`
+	// From/Until bound the active window; Until 0 means Duration, so the
+	// post-Duration drain always runs fault-free and the drain bound
+	// stays sound (duplication cannot amplify the in-flight population
+	// forever).
+	From  float64 `json:"from,omitempty"`
+	Until float64 `json:"until,omitempty"`
+}
+
+// FlapSpec schedules link flapping (faults.ScheduleFlap): alternating
+// exponential down/up dwells from Start to End, floored at MinDwell, with
+// the link forced up at End. The dwell RNG stream is stats.ChildAt(seed,
+// 4000+i) for the i-th spec.
+type FlapSpec struct {
+	Link     int     `json:"link"`
+	Start    float64 `json:"start"`
+	End      float64 `json:"end"`
+	MeanDown float64 `json:"mean_down"`
+	MeanUp   float64 `json:"mean_up"`
+	MinDwell float64 `json:"min_dwell,omitempty"`
+}
+
+// DegradeSpec schedules a bandwidth degradation (faults.ScheduleDegrade):
+// the link's rate is multiplied by Factor at At and restored at Until
+// (0 = never restored).
+type DegradeSpec struct {
+	Link   int     `json:"link"`
+	At     float64 `json:"at"`
+	Until  float64 `json:"until,omitempty"`
+	Factor float64 `json:"factor"`
+}
+
+// CrashSpec schedules a router crash/restart (faults.ScheduleCrash): every
+// up link attached to Node fails at At; RestartAt restores them (0 = the
+// device never returns). If Node hosts the scenario's Blink deployment,
+// the pipeline loses its monitor state at restart and replays its warm-up.
+type CrashSpec struct {
+	Node      int     `json:"node"`
+	At        float64 `json:"at"`
+	RestartAt float64 `json:"restart_at,omitempty"`
 }
 
 // BlinkSpec deploys a Blink pipeline on a router, monitoring the prefix of
@@ -243,6 +309,64 @@ func (s *Scenario) Validate() error {
 			}
 		}
 	}
+	for i, g := range s.Gray {
+		if g.Link < 0 || g.Link >= len(s.Links) {
+			return fmt.Errorf("gray %d: bad link %d", i, g.Link)
+		}
+		if g.Dir != 0 && g.Dir != 1 {
+			return fmt.Errorf("gray %d: dir %d must be 0 or 1", i, g.Dir)
+		}
+		for _, p := range []float64{g.LossP, g.CorruptP, g.DupP, g.JitterP} {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("gray %d: probability out of [0,1]", i)
+			}
+		}
+		if g.Jitter < 0 {
+			return fmt.Errorf("gray %d: negative jitter", i)
+		}
+		if g.From < 0 || g.From >= s.Duration {
+			return fmt.Errorf("gray %d: from %g outside [0, duration)", i, g.From)
+		}
+		if g.Until != 0 && (g.Until <= g.From || g.Until > s.Duration) {
+			return fmt.Errorf("gray %d: until %g outside (from, duration]", i, g.Until)
+		}
+	}
+	for i, f := range s.Flaps {
+		if f.Link < 0 || f.Link >= len(s.Links) {
+			return fmt.Errorf("flap %d: bad link %d", i, f.Link)
+		}
+		if !(f.Start > 0) || f.End <= f.Start || f.End > s.Duration {
+			return fmt.Errorf("flap %d: window (%g, %g) outside (0, duration]", i, f.Start, f.End)
+		}
+		if !(f.MeanDown > 0) || !(f.MeanUp > 0) || f.MinDwell < 0 {
+			return fmt.Errorf("flap %d: dwell parameters out of range", i)
+		}
+	}
+	for i, d := range s.Degrades {
+		if d.Link < 0 || d.Link >= len(s.Links) {
+			return fmt.Errorf("degrade %d: bad link %d", i, d.Link)
+		}
+		if !(d.At > 0) || d.At > s.Duration {
+			return fmt.Errorf("degrade %d: at %g outside (0, duration]", i, d.At)
+		}
+		if d.Until != 0 && (d.Until <= d.At || d.Until > s.Duration) {
+			return fmt.Errorf("degrade %d: until %g outside (at, duration]", i, d.Until)
+		}
+		if !(d.Factor > 0) || d.Factor > 1 {
+			return fmt.Errorf("degrade %d: factor %g outside (0, 1]", i, d.Factor)
+		}
+	}
+	for i, c := range s.Crashes {
+		if c.Node < 0 || c.Node >= len(s.Nodes) || !s.Nodes[c.Node].Router {
+			return fmt.Errorf("crash %d: node %d is not a router", i, c.Node)
+		}
+		if !(c.At > 0) || c.At > s.Duration {
+			return fmt.Errorf("crash %d: at %g outside (0, duration]", i, c.At)
+		}
+		if c.RestartAt != 0 && (c.RestartAt <= c.At || c.RestartAt > s.Duration) {
+			return fmt.Errorf("crash %d: restart_at %g outside (at, duration]", i, c.RestartAt)
+		}
+	}
 	if b := s.Blink; b != nil {
 		if b.Router < 0 || b.Router >= len(s.Nodes) || !s.Nodes[b.Router].Router {
 			return fmt.Errorf("blink: node %d is not a router", b.Router)
@@ -286,6 +410,10 @@ func (s Scenario) Clone() Scenario {
 	c.Workloads = append([]WorkloadSpec(nil), s.Workloads...)
 	c.Failures = append([]FailureSpec(nil), s.Failures...)
 	c.Taps = append([]TapSpec(nil), s.Taps...)
+	c.Gray = append([]GraySpec(nil), s.Gray...)
+	c.Flaps = append([]FlapSpec(nil), s.Flaps...)
+	c.Degrades = append([]DegradeSpec(nil), s.Degrades...)
+	c.Crashes = append([]CrashSpec(nil), s.Crashes...)
 	if s.Blink != nil {
 		b := *s.Blink
 		b.NextHops = append([]int(nil), s.Blink.NextHops...)
@@ -294,12 +422,24 @@ func (s Scenario) Clone() Scenario {
 	return c
 }
 
+// HasFaults reports whether any fault-plane spec is present; with none the
+// scenario builds and runs exactly as it did before the fault plane
+// existed.
+func (s *Scenario) HasFaults() bool {
+	return len(s.Gray) > 0 || len(s.Flaps) > 0 || len(s.Degrades) > 0 || len(s.Crashes) > 0
+}
+
 // Size summarizes the scenario for shrink progress and reproducer reports.
 func (s Scenario) Size() string {
 	flows := 0
 	for _, w := range s.Workloads {
 		flows += w.Flows
 	}
-	return fmt.Sprintf("%d nodes, %d links, %d workloads (%d flows), %d failures, %d taps",
+	out := fmt.Sprintf("%d nodes, %d links, %d workloads (%d flows), %d failures, %d taps",
 		len(s.Nodes), len(s.Links), len(s.Workloads), flows, len(s.Failures), len(s.Taps))
+	if s.HasFaults() {
+		out += fmt.Sprintf(", %d gray, %d flaps, %d degrades, %d crashes",
+			len(s.Gray), len(s.Flaps), len(s.Degrades), len(s.Crashes))
+	}
+	return out
 }

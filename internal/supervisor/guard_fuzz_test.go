@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dui/internal/blink"
+	"dui/internal/faults"
 	"dui/internal/fuzz"
 	"dui/internal/scenario"
 	"dui/internal/stats"
@@ -153,5 +154,94 @@ func TestGuardOnGeneratedAttackScenarios(t *testing.T) {
 	// the full sweep enforces non-vacuity.
 	if vetoed == 0 && !testing.Short() {
 		t.Fatalf("guard never fired across %d adversarial scenarios", deployed)
+	}
+}
+
+// TestGuardNeverVetoesUnderGrayFailure is the chaos twin of the sweep
+// above: the primary path suffers a benign gray failure — sporadic loss,
+// duplication, and jitter — for the whole run. The retransmission noise it
+// produces must neither trigger a spurious failover (covered by the
+// reroute-threshold oracle elsewhere) nor, once the genuine failure hits,
+// make the guard read the real storm as implausible and veto it.
+func TestGuardNeverVetoesUnderGrayFailure(t *testing.T) {
+	model := trainModel()
+	rng := stats.NewRNG(5)
+	n := 10
+	if testing.Short() {
+		n = 3
+	}
+	for i := 0; i < n; i++ {
+		eps := 0.2 + 0.8*rng.Float64()
+		grayCfg := faults.GrayConfig{
+			LossP:   0.03 * eps,
+			DupP:    0.01 * eps,
+			JitterP: 0.5,
+			Jitter:  0.02 * eps,
+		}
+		grngA, grngB := stats.NewRNG(rng.Uint64()), stats.NewRNG(rng.Uint64())
+		cfg := blink.FailoverConfig{
+			Blink:    blink.Config{Cells: []int{16, 32, 64}[rng.IntN(3)]},
+			Flows:    60 + rng.IntN(140),
+			FailAt:   12 + rng.Float64()*16,
+			Duration: 45,
+			Hook:     func(p *blink.Pipeline) { GuardPipeline(p, model) },
+			Chaos: func(topo blink.FailoverTopo) {
+				topo.PrimaryTrunk.SetFault(faults.NewGray(grayCfg, grngA))
+				topo.PrimaryTail.SetFault(faults.NewGray(grayCfg, grngB))
+			},
+		}
+		res := blink.RunFailover(cfg)
+		if res.VetoedReroutes != 0 {
+			t.Fatalf("config %d (eps=%.2f cells=%d flows=%d failAt=%.1f): failover under gray failure vetoed %d times",
+				i, eps, cfg.Blink.Cells, cfg.Flows, cfg.FailAt, res.VetoedReroutes)
+		}
+		if !res.Rerouted {
+			t.Fatalf("config %d (eps=%.2f cells=%d flows=%d failAt=%.1f): no reroute — property vacuous",
+				i, eps, cfg.Blink.Cells, cfg.Flows, cfg.FailAt)
+		}
+	}
+}
+
+// TestGuardNeverVetoesUnderFlapping: the primary tail flaps — bursty
+// down/up cycles with realistic hold-down dwells — before the genuine
+// failure. Flap-induced retransmission bursts are exactly the benign
+// chaos a §5 countermeasure must tolerate: the guard may not veto the
+// eventual genuine failover.
+func TestGuardNeverVetoesUnderFlapping(t *testing.T) {
+	model := trainModel()
+	rng := stats.NewRNG(9)
+	n := 10
+	if testing.Short() {
+		n = 3
+	}
+	for i := 0; i < n; i++ {
+		failAt := 14 + rng.Float64()*14
+		flapCfg := faults.FlapConfig{
+			Start:    3 + rng.Float64()*3,
+			End:      failAt - 3,
+			MeanDown: 0.2 + rng.Float64()*0.3,
+			MeanUp:   1 + rng.Float64()*2,
+			MinDwell: 0.2,
+		}
+		frng := stats.NewRNG(rng.Uint64())
+		cfg := blink.FailoverConfig{
+			Blink:    blink.Config{Cells: []int{16, 32, 64}[rng.IntN(3)]},
+			Flows:    60 + rng.IntN(140),
+			FailAt:   failAt,
+			Duration: 45,
+			Hook:     func(p *blink.Pipeline) { GuardPipeline(p, model) },
+			Chaos: func(topo blink.FailoverTopo) {
+				faults.ScheduleFlap(topo.Net.Engine(), topo.PrimaryTail, flapCfg, frng)
+			},
+		}
+		res := blink.RunFailover(cfg)
+		if res.VetoedReroutes != 0 {
+			t.Fatalf("config %d (cells=%d flows=%d failAt=%.1f): failover under flapping vetoed %d times",
+				i, cfg.Blink.Cells, cfg.Flows, cfg.FailAt, res.VetoedReroutes)
+		}
+		if !res.Rerouted {
+			t.Fatalf("config %d (cells=%d flows=%d failAt=%.1f): no reroute — property vacuous",
+				i, cfg.Blink.Cells, cfg.Flows, cfg.FailAt)
+		}
 	}
 }
