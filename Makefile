@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race audit bench bench-smoke fuzz-smoke chaos-smoke report
+.PHONY: check vet build test race audit bench bench-smoke bench-gate fuzz-smoke chaos-smoke report
 
 ## check: the full gate — vet, build, race-enabled tests.
 check: vet build race
@@ -24,13 +24,22 @@ audit:
 	DUI_AUDIT=1 $(GO) test -race ./...
 
 ## bench: the per-experiment and substrate benchmarks (minutes); refreshes
-## BENCH_2.json, the repo's benchmark-trajectory file.
+## BENCH_3.json, the repo's benchmark-trajectory file (BENCH_2.json is the
+## frozen pre-timing-wheel snapshot it is compared against).
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem -count=1 -timeout 60m . | $(GO) run ./cmd/benchjson -o BENCH_2.json
+	$(GO) test -run '^$$' -bench=. -benchmem -count=1 -timeout 60m . | $(GO) run ./cmd/benchjson -o BENCH_3.json
 
 ## bench-smoke: the fast substrate subset CI runs on every push.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=Substrate -benchtime=100x -benchmem .
+
+## bench-gate: run the engine benchmarks and compare events/sec against the
+## checked-in floors in BENCH_FLOOR.json (warn-only by default; CI uses
+## this as a regression smoke, not a hard gate — shared runners are noisy).
+bench-gate:
+	$(GO) test -run '^$$' -bench=Engine -benchmem -count=1 -timeout 20m . \
+		| $(GO) run ./cmd/benchjson -o BENCH_GATE.json
+	$(GO) run ./cmd/benchgate -floor BENCH_FLOOR.json BENCH_GATE.json
 
 ## fuzz-smoke: a race-enabled 200-seed scenario-fuzzing campaign with
 ## shrinking plus a replay of the committed reproducer corpus — the

@@ -16,6 +16,8 @@ import (
 	"dui/internal/dapper"
 	"dui/internal/graph"
 	"dui/internal/nethide"
+	"dui/internal/netsim"
+	"dui/internal/packet"
 	"dui/internal/pcc"
 	"dui/internal/pytheas"
 	"dui/internal/sketch"
@@ -23,6 +25,162 @@ import (
 	"dui/internal/stats"
 	"dui/internal/trace"
 )
+
+// BenchmarkEngineE1 measures engine throughput on the E1-shaped workload:
+// a sustained packet storm through a bottleneck link — the clustered
+// back-to-back timestamps Blink's FIN/RST storm produces — over a
+// background population of per-flow hold timers with exponential gaps.
+// A fixed set of packets circulates host-to-host (the receiver reflects
+// each one back), so the steady state allocates nothing and the measured
+// cost is pure event machinery. sched=heap/lanes=off routes every packet
+// through the two closure events of the PR 2 engine — exactly the
+// BENCH_2-era code path, doubling as the baseline; sched=wheel/lanes=on
+// is the timing wheel with link batching. The events/sec ratio between
+// the two is the tentpole speedup figure tracked in EXPERIMENTS.md and
+// gated by cmd/benchgate. Traces are byte-identical either way
+// (TestLinkLanesTraceIdenticalToClosures) — only the throughput differs.
+func BenchmarkEngineE1(b *testing.B) {
+	type mode struct {
+		name  string
+		sched netsim.Scheduler
+		lanes bool
+	}
+	for _, m := range []mode{
+		{"sched=heap/lanes=off", netsim.SchedulerHeap, false},
+		{"sched=wheel/lanes=on", netsim.SchedulerWheel, true},
+	} {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			prev := netsim.SetDefaultScheduler(m.sched)
+			defer netsim.SetDefaultScheduler(prev)
+			netsim.DebugHooks.DisableLinkLanes = !m.lanes
+			defer func() { netsim.DebugHooks.DisableLinkLanes = false }()
+
+			nw := netsim.New()
+			h1 := nw.AddHost("h1", packet.MustParseAddr("10.0.0.1"))
+			h2 := nw.AddHost("h2", packet.MustParseAddr("10.0.1.1"))
+			nw.Connect(h1, h2, 1e9, 0.001, 0)
+			nw.ComputeRoutes()
+			// Reflect every delivery back at its sender: the packet
+			// population circulates forever with zero allocation.
+			reflect := netsim.ReceiverFunc(func(now float64, p *packet.Packet) {
+				p.Src, p.Dst = p.Dst, p.Src
+				if p.Src == h1.Addr {
+					h1.Send(p)
+				} else {
+					h2.Send(p)
+				}
+			})
+			h1.SetReceiver(reflect)
+			h2.SetReceiver(reflect)
+			const packets = 2048   // in-flight FIN/RST-storm population
+			const timers = 1 << 12 // background per-flow hold timers (RTO-scale)
+			for i := 0; i < packets; i++ {
+				h1.Send(packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{Seq: uint32(i), Flags: packet.FlagFIN}, 1500))
+			}
+			e := nw.Engine()
+			rng := stats.NewRNG(0xE1)
+			var tick func()
+			tick = func() { e.After(rng.Exp(1), tick) }
+			for i := 0; i < timers; i++ {
+				e.After(rng.Float64(), tick)
+			}
+			// Let circulation and the timer population reach steady state.
+			nw.RunUntil(nw.Now() + 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				done += e.RunUntil(e.Now() + 0.01)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
+// BenchmarkEngineHold isolates the scheduler on the pure timer hold
+// model: a large population of self-rescheduling timers with exponential
+// inter-event gaps and no packets. This is the heap's best case (no
+// batching applies), so it bounds the scheduler-only share of the E1
+// speedup.
+func BenchmarkEngineHold(b *testing.B) {
+	const population = 1 << 16
+	for _, sched := range []netsim.Scheduler{netsim.SchedulerHeap, netsim.SchedulerWheel} {
+		sched := sched
+		b.Run("sched="+sched.String(), func(b *testing.B) {
+			e := netsim.NewEngineSched(sched)
+			rng := stats.NewRNG(0xE1)
+			var tick func()
+			tick = func() { e.After(rng.Exp(1), tick) }
+			for i := 0; i < population; i++ {
+				e.After(rng.Float64(), tick)
+			}
+			// Let the queue reach steady state before timing.
+			e.RunUntil(2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				done += e.RunUntil(e.Now() + 0.01)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
+// BenchmarkEngineLinkBurst measures the packet path through a link:
+// bursts of back-to-back packets serialize, propagate, and deliver.
+// lanes=off routes every packet through the two closure events of the
+// PR 2 engine (with the heap scheduler, this is exactly the BENCH_2-era
+// code); lanes=on is the batching fast path on the timing wheel. Traces
+// are byte-identical either way (TestLinkLanesTraceIdenticalToClosures) —
+// only the events/sec differ.
+func BenchmarkEngineLinkBurst(b *testing.B) {
+	type mode struct {
+		name  string
+		sched netsim.Scheduler
+		lanes bool
+	}
+	for _, m := range []mode{
+		{"sched=heap/lanes=off", netsim.SchedulerHeap, false},
+		{"sched=wheel/lanes=on", netsim.SchedulerWheel, true},
+	} {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			prev := netsim.SetDefaultScheduler(m.sched)
+			defer netsim.SetDefaultScheduler(prev)
+			netsim.DebugHooks.DisableLinkLanes = !m.lanes
+			defer func() { netsim.DebugHooks.DisableLinkLanes = false }()
+
+			nw := netsim.New()
+			h1 := nw.AddHost("h1", packet.MustParseAddr("10.0.0.1"))
+			h2 := nw.AddHost("h2", packet.MustParseAddr("10.0.1.1"))
+			nw.Connect(h1, h2, 1e9, 0.001, 0)
+			nw.ComputeRoutes()
+			received := 0
+			h2.SetReceiver(netsim.ReceiverFunc(func(now float64, p *packet.Packet) { received++ }))
+			const burst = 256
+			b.ReportAllocs()
+			b.ResetTimer()
+			events := uint64(0)
+			for i := 0; i < b.N; i += burst {
+				before := nw.Engine().Executed()
+				for j := 0; j < burst; j++ {
+					h1.Send(packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{Seq: uint32(j)}, 1500))
+				}
+				nw.RunUntil(nw.Now() + 1)
+				events += nw.Engine().Executed() - before
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+			if received == 0 {
+				b.Fatal("no packets delivered")
+			}
+		})
+	}
+}
 
 // BenchmarkE1BlinkFig2 regenerates Fig 2 at reduced run count.
 func BenchmarkE1BlinkFig2(b *testing.B) {

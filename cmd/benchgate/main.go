@@ -1,0 +1,172 @@
+// Command benchgate compares a benchmark-trajectory JSON file (the
+// cmd/benchjson output format) against the checked-in floors in
+// BENCH_FLOOR.json and reports every violation: an absolute metric floor
+// or ceiling ("the wheel engine must sustain N events/sec", "the hot path
+// must stay at 0 allocs/op") or a ratio floor between two benchmarks
+// ("wheel must beat heap by at least R× on the E1 workload").
+//
+// Usage:
+//
+//	benchgate [-floor BENCH_FLOOR.json] [-strict] BENCH.json
+//
+// By default violations are printed as warnings and the exit status is 0
+// — shared CI runners are too noisy for wall-clock numbers to be a hard
+// gate, so the job surfaces regressions without blocking merges. With
+// -strict any violation exits 1. Exit status 2 on usage or read errors,
+// including a floor entry whose benchmark or metric is missing from the
+// measurement file (a silently-skipped check would read as a pass).
+//
+// The floors are deliberately conservative relative to the numbers in
+// BENCH_3.json: they are meant to catch "the optimization fell off" (a
+// 2×-or-worse cliff, an allocation reappearing on the steady-state path),
+// not a 10% wobble.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Benchmark mirrors cmd/benchjson's entry: one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File mirrors cmd/benchjson's document.
+type File struct {
+	GeneratedBy string      `json:"generated_by"`
+	Goos        string      `json:"goos,omitempty"`
+	Goarch      string      `json:"goarch,omitempty"`
+	CPU         string      `json:"cpu,omitempty"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+// Floor is one absolute bound on a single benchmark metric. Min and Max
+// are pointers so a zero bound (allocs/op <= 0) is expressible.
+type Floor struct {
+	Bench  string   `json:"bench"`
+	Metric string   `json:"metric"`
+	Min    *float64 `json:"min,omitempty"`
+	Max    *float64 `json:"max,omitempty"`
+	Why    string   `json:"why,omitempty"`
+}
+
+// Ratio is a floor on Num's metric divided by Den's metric — the shape of
+// the PR's "≥5× events/sec over the heap engine" acceptance criterion,
+// held here at a CI-noise-tolerant fraction of the measured value.
+type Ratio struct {
+	Num    string  `json:"num"`
+	Den    string  `json:"den"`
+	Metric string  `json:"metric"`
+	Min    float64 `json:"min"`
+	Why    string  `json:"why,omitempty"`
+}
+
+// FloorFile is the checked-in BENCH_FLOOR.json document.
+type FloorFile struct {
+	Comment string  `json:"comment,omitempty"`
+	Floors  []Floor `json:"floors"`
+	Ratios  []Ratio `json:"ratios"`
+}
+
+func main() {
+	floorPath := flag.String("floor", "BENCH_FLOOR.json", "floor file to compare against")
+	strict := flag.Bool("strict", false, "exit 1 on any violation instead of warning")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchgate [-floor BENCH_FLOOR.json] [-strict] BENCH.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var floors FloorFile
+	mustLoad(*floorPath, &floors)
+	var bench File
+	mustLoad(flag.Arg(0), &bench)
+
+	byName := make(map[string]Benchmark, len(bench.Benchmarks))
+	for _, b := range bench.Benchmarks {
+		byName[b.Name] = b
+	}
+	metric := func(name, unit string) float64 {
+		b, ok := byName[name]
+		if !ok {
+			fatalf("benchmark %q not present in %s (floor entry is stale or the bench run was filtered)", name, flag.Arg(0))
+		}
+		v, ok := b.Metrics[unit]
+		if !ok {
+			fatalf("benchmark %q has no %q metric in %s", name, unit, flag.Arg(0))
+		}
+		return v
+	}
+
+	violations := 0
+	warn := func(format string, args ...any) {
+		violations++
+		fmt.Printf("benchgate: FAIL: "+format+"\n", args...)
+	}
+
+	for _, f := range floors.Floors {
+		v := metric(f.Bench, f.Metric)
+		switch {
+		case f.Min != nil && v < *f.Min:
+			warn("%s %s = %g, below floor %g%s", f.Bench, f.Metric, v, *f.Min, why(f.Why))
+		case f.Max != nil && v > *f.Max:
+			warn("%s %s = %g, above ceiling %g%s", f.Bench, f.Metric, v, *f.Max, why(f.Why))
+		default:
+			fmt.Printf("benchgate: ok: %s %s = %g\n", f.Bench, f.Metric, v)
+		}
+	}
+	for _, r := range floors.Ratios {
+		num, den := metric(r.Num, r.Metric), metric(r.Den, r.Metric)
+		if den == 0 {
+			fatalf("ratio %s / %s: denominator %s is zero", r.Num, r.Den, r.Metric)
+		}
+		got := num / den
+		if got < r.Min {
+			warn("%s / %s %s ratio = %.2f, below floor %.2f%s", r.Num, r.Den, r.Metric, got, r.Min, why(r.Why))
+		} else {
+			fmt.Printf("benchgate: ok: %s / %s %s ratio = %.2f (floor %.2f)\n", r.Num, r.Den, r.Metric, got, r.Min)
+		}
+	}
+
+	if violations > 0 {
+		fmt.Printf("benchgate: %d floor violation(s) — see FAIL lines above\n", violations)
+		if *strict {
+			os.Exit(1)
+		}
+		fmt.Println("benchgate: warn-only mode, exiting 0 (rerun with -strict to gate)")
+		return
+	}
+	fmt.Println("benchgate: all floors hold")
+}
+
+// why formats an optional rationale suffix.
+func why(s string) string {
+	if s == "" {
+		return ""
+	}
+	return " (" + s + ")"
+}
+
+func mustLoad(path string, v any) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(2)
+}

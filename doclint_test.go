@@ -1,0 +1,168 @@
+package dui
+
+// Documentation and formatting lint, run as part of the ordinary test
+// suite (and therefore by the CI `check` job). Two layers:
+//
+//   - every .go file in the repository must be gofmt-clean and every
+//     package must carry a package comment — documentation is a stated
+//     deliverable of this reproduction, so a missing doc block is a test
+//     failure, not a style nit;
+//   - the determinism-critical packages (internal/netsim, internal/stats,
+//     internal/runner) are held to the stricter godoc standard: every
+//     exported top-level identifier must have a doc comment, because
+//     their comments carry the engine's ordering and seeding contracts.
+
+import (
+	"bytes"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goFiles walks the repository and returns every tracked .go file,
+// skipping testdata and hidden directories.
+func goFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking repository: %v", err)
+	}
+	if len(files) == 0 {
+		t.Fatal("found no .go files — doclint is walking the wrong root")
+	}
+	return files
+}
+
+// TestGofmtClean asserts every .go file is unchanged by gofmt. The CI
+// check job runs the suite, so a formatting regression fails the build
+// rather than waiting for review.
+func TestGofmtClean(t *testing.T) {
+	for _, path := range goFiles(t) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := format.Source(src)
+		if err != nil {
+			t.Errorf("%s: gofmt: %v", path, err)
+			continue
+		}
+		if !bytes.Equal(src, want) {
+			t.Errorf("%s: not gofmt-clean (run gofmt -w %s)", path, path)
+		}
+	}
+}
+
+// TestPackagesHaveDocComments asserts every package directory has at least
+// one file with a package doc comment (test-only packages exempt).
+func TestPackagesHaveDocComments(t *testing.T) {
+	documented := map[string]bool{} // package dir -> has a package comment
+	fset := token.NewFileSet()
+	for _, path := range goFiles(t) {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		dir := filepath.Dir(path)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if _, seen := documented[dir]; !seen {
+			documented[dir] = false
+		}
+		if f.Doc != nil {
+			documented[dir] = true
+		}
+	}
+	for dir, ok := range documented {
+		if !ok {
+			t.Errorf("package in %s has no package doc comment in any file", dir)
+		}
+	}
+}
+
+// strictDocPackages are held to full godoc coverage: their comments state
+// the determinism contracts (event ordering, seed derivation, worker-count
+// independence) that the rest of the repository builds on.
+var strictDocPackages = []string{
+	"internal/netsim",
+	"internal/stats",
+	"internal/runner",
+}
+
+// TestExportedIdentifiersDocumented asserts every exported top-level
+// declaration in the strict packages carries a doc comment.
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	for _, dir := range strictDocPackages {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for path, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					checkDeclDocs(t, fset, path, decl)
+				}
+			}
+		}
+	}
+}
+
+// checkDeclDocs reports exported declarations without doc comments.
+func checkDeclDocs(t *testing.T, fset *token.FileSet, path string, decl ast.Decl) {
+	t.Helper()
+	pos := func(n ast.Node) string { return fset.Position(n.Pos()).String() }
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil {
+			t.Errorf("%s: exported func %s has no doc comment", pos(d), d.Name.Name)
+		}
+	case *ast.GenDecl:
+		// A doc comment on the gen decl covers a grouped block (var/const
+		// groups commonly document the group once).
+		groupDoc := d.Doc != nil
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil && !groupDoc {
+					t.Errorf("%s: exported type %s has no doc comment", pos(s), s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil || s.Comment != nil || groupDoc {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						t.Errorf("%s: exported %s has no doc comment", pos(s), name.Name)
+					}
+				}
+			}
+		}
+	}
+	_ = path
+}

@@ -2,6 +2,8 @@ package fuzz
 
 import (
 	"testing"
+
+	"dui/internal/netsim"
 )
 
 // TestCorpusReplay is the regression gate over the committed reproducer
@@ -17,14 +19,25 @@ func TestCorpusReplay(t *testing.T) {
 	if len(entries) < 3 {
 		t.Fatalf("expected at least the 3 seed corpus entries, found %d", len(entries))
 	}
-	for _, e := range entries {
-		e := e
-		t.Run(e.Name, func(t *testing.T) {
-			if err := e.Scenario.Validate(); err != nil {
-				t.Fatalf("corpus scenario invalid: %v", err)
-			}
-			if err := Replay(e); err != nil {
-				t.Fatal(err)
+	// Replay under both event-queue implementations: corpus verdicts are
+	// part of the determinism surface the scheduler swap must preserve.
+	prev := netsim.DefaultScheduler()
+	defer netsim.SetDefaultScheduler(prev)
+	for _, sched := range []netsim.Scheduler{netsim.SchedulerWheel, netsim.SchedulerHeap} {
+		sched := sched
+		t.Run(sched.String(), func(t *testing.T) {
+			netsim.SetDefaultScheduler(sched)
+			defer netsim.SetDefaultScheduler(prev)
+			for _, e := range entries {
+				e := e
+				t.Run(e.Name, func(t *testing.T) {
+					if err := e.Scenario.Validate(); err != nil {
+						t.Fatalf("corpus scenario invalid: %v", err)
+					}
+					if err := Replay(e); err != nil {
+						t.Fatal(err)
+					}
+				})
 			}
 		})
 	}

@@ -1,0 +1,41 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"dui/internal/netsim"
+	"dui/internal/scenario"
+)
+
+// Cross-engine differential: the timing-wheel and heap schedulers must
+// produce identical verdicts and identical event traces on generated
+// scenarios across the generator's whole behavior space — topologies,
+// bursty workloads, taps, gray faults, failures, flaps, Blink pipelines.
+// The trace hash covers every recorded event in order, so any scheduling
+// divergence (not just a verdict flip) fails here.
+func TestSchedulerCrossEngineDifferential(t *testing.T) {
+	seeds := 1000
+	if testing.Short() {
+		seeds = 100
+	}
+	prev := netsim.DefaultScheduler()
+	defer netsim.SetDefaultScheduler(prev)
+	for seed := uint64(0); seed < uint64(seeds); seed++ {
+		s := Generate(seed, GenConfig{})
+		netsim.SetDefaultScheduler(netsim.SchedulerWheel)
+		rw := scenario.Run(s, scenario.Options{})
+		netsim.SetDefaultScheduler(netsim.SchedulerHeap)
+		rh := scenario.Run(s, scenario.Options{})
+		if rw.TraceHash != rh.TraceHash || rw.EventCount != rh.EventCount ||
+			rw.Delivered != rh.Delivered || rw.Reroutes != rh.Reroutes ||
+			rw.FinalTime != rh.FinalTime || !reflect.DeepEqual(rw.Rules(), rh.Rules()) {
+			b, _ := json.Marshal(s)
+			t.Fatalf("seed %#x: engines diverge\nwheel: hash=%#x events=%d delivered=%d reroutes=%d final=%v rules=%v\nheap:  hash=%#x events=%d delivered=%d reroutes=%d final=%v rules=%v\nscenario: %s",
+				seed,
+				rw.TraceHash, rw.EventCount, rw.Delivered, rw.Reroutes, rw.FinalTime, rw.Rules(),
+				rh.TraceHash, rh.EventCount, rh.Delivered, rh.Reroutes, rh.FinalTime, rh.Rules(), b)
+		}
+	}
+}

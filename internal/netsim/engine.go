@@ -8,28 +8,131 @@
 //
 // It replaces the mininet + P4 testbed of the paper. All time is virtual
 // (float64 seconds); runs are bit-reproducible for a fixed seed.
+//
+// # Determinism contract
+//
+// Every run is a pure function of the scenario and its seeds. The engine
+// executes events in exactly one order — ascending (t, seq), where seq is
+// the global scheduling sequence number — regardless of which scheduler
+// backs the queue (timing wheel or 4-ary heap, see Scheduler) and
+// regardless of link-lane batching. Simulation code must draw all
+// randomness from seeded stats.RNG streams (SplitMix64 child derivation,
+// stats.ChildAt for per-trial streams), never from the wall clock or a
+// global generator, so results are bit-identical at any worker count.
+// Packet values handed to hot-path callbacks follow the scratch-packet
+// rule of internal/trace: they are valid only for the duration of the
+// callback unless the producer documents otherwise; retainers must
+// Clone().
 package netsim
 
 import (
 	"fmt"
 	"math"
+	"os"
 )
+
+// Scheduler selects the event-queue implementation backing an Engine.
+// Both produce the exact same execution order — ascending (t, seq) — so
+// the choice is purely a throughput trade-off; cmd/simtrace diffs of the
+// same scenario under both schedulers are byte-identical.
+type Scheduler int
+
+// Scheduler kinds.
+const (
+	// SchedulerWheel is the default: an 8192-slot timing wheel that
+	// serves events from a sorted ready run, buckets near-future events
+	// into unsorted per-tick slots, and stages far-future events (RTO
+	// timers, scheduled failures and flaps) for a sorted overflow heap.
+	// Insert and pop are amortized O(1) on the clustered-timestamp
+	// workloads netsim produces; see wheel.go for the full design.
+	SchedulerWheel Scheduler = iota
+	// SchedulerHeap is the PR 2 value-typed 4-ary min-heap, kept as the
+	// reference implementation: O(log n) insert/pop, trivially correct
+	// ordering. DUI_ENGINE=heap selects it process-wide for A/B trace
+	// diffing.
+	SchedulerHeap
+)
+
+// String names the scheduler for benchmarks and diagnostics.
+func (s Scheduler) String() string {
+	if s == SchedulerHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+// defaultScheduler is what NewEngine uses; initialized from DUI_ENGINE.
+var defaultScheduler = schedulerFromEnv()
+
+// schedulerFromEnv maps DUI_ENGINE to a Scheduler: "heap" selects the
+// reference heap, anything else (including unset) the timing wheel.
+func schedulerFromEnv() Scheduler {
+	if os.Getenv("DUI_ENGINE") == "heap" {
+		return SchedulerHeap
+	}
+	return SchedulerWheel
+}
+
+// DefaultScheduler returns the scheduler NewEngine currently uses.
+func DefaultScheduler() Scheduler { return defaultScheduler }
+
+// SetDefaultScheduler changes the scheduler NewEngine uses and returns
+// the previous value, for tests and A/B drivers that build networks
+// through code paths without an explicit engine choice. Not safe for
+// concurrent use with engine construction.
+func SetDefaultScheduler(s Scheduler) (prev Scheduler) {
+	prev = defaultScheduler
+	defaultScheduler = s
+	return prev
+}
+
+// scheduler is the priority-queue contract both implementations satisfy:
+// pop must always return the pending event with the smallest (t, seq)
+// key, and peek must report that key without removing it.
+type scheduler interface {
+	push(event)
+	pop() event
+	peek() (t float64, seq uint64, ok bool)
+	len() int
+}
 
 // Engine is the discrete-event core: a virtual clock and an event queue.
 // Events at equal timestamps fire in scheduling order (stable FIFO), which
 // keeps runs deterministic.
 //
-// The queue is a value-typed 4-ary min-heap over event structs rather than
-// container/heap over *event: scheduling allocates nothing in steady state
-// (the backing array is reused across push/pop), and the (t, seq) key is a
-// total order, so the execution order is independent of heap shape.
+// The queue is value-typed — event structs, never *event or interface
+// boxing — so scheduling allocates nothing in steady state, and the
+// (t, seq) key is a total order, so the execution order is independent of
+// the queue's internal shape. Lanes (see Lane) are pre-sorted FIFO event
+// sources merged into the same total order; the engine keeps every
+// non-empty lane in a small auxiliary min-heap keyed by its head entry
+// and, each loop step, runs whichever of the scheduler minimum and the
+// best lane head comes first, draining consecutive lane entries in a
+// burst while they precede everything else pending.
 type Engine struct {
 	now      float64
 	seq      uint64
 	audit    bool
 	budget   uint64
 	executed uint64
-	pq       []event
+	kind     Scheduler
+	sched    scheduler
+	// laneQ is the binary min-heap of armed (non-empty) lanes, ordered by
+	// head-entry (T, Seq). The key is stored inline in each heap element
+	// so comparisons never chase the lane pointer, and it is stable while
+	// queued: only a draining lane pops entries, and it is removed from
+	// laneQ for the duration of its drain, so the heap never needs
+	// arbitrary removal or re-keying.
+	laneQ []laneRef
+	// laneEntries counts pending entries across all lanes; Pending()
+	// reconciles it with the scheduler so callers see one coherent
+	// pending-event count.
+	laneEntries int
+	// schedGen increments on every push that could introduce a new global
+	// minimum (scheduler pushes and lane arms). Lane drains cache their
+	// drain boundary and recompute only when this changes, since the
+	// boundary can otherwise only move when the drain itself pops.
+	schedGen uint64
 }
 
 // LivelockError is the panic value delivered when an engine's event budget
@@ -59,32 +162,53 @@ func (e *Engine) SetEventBudget(n uint64) { e.budget = n }
 // EventBudget returns the installed event budget (0 = off).
 func (e *Engine) EventBudget() uint64 { return e.budget }
 
-// Executed returns the total number of events executed so far.
+// Executed returns the total number of events executed so far. Lane
+// entries count exactly like ordinary events (sentinels do not), so the
+// count is identical across schedulers and with batching on or off.
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // checkBudget enforces the event-budget watchdog after each executed event.
 func (e *Engine) checkBudget() {
 	e.executed++
 	if e.budget != 0 && e.executed > e.budget {
-		panic(&LivelockError{Budget: e.budget, Now: e.now, Pending: len(e.pq)})
+		panic(&LivelockError{Budget: e.budget, Now: e.now, Pending: e.Pending()})
 	}
 }
 
-// NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an engine with the clock at zero, backed by the
+// default scheduler (the timing wheel unless DUI_ENGINE=heap).
+func NewEngine() *Engine { return NewEngineSched(defaultScheduler) }
+
+// NewEngineSched returns an engine backed by an explicit scheduler kind.
+func NewEngineSched(kind Scheduler) *Engine {
+	e := &Engine{kind: kind}
+	if kind == SchedulerHeap {
+		e.sched = &heapSched{}
+	} else {
+		e.sched = newWheelSched()
+	}
+	return e
+}
+
+// Scheduler returns the scheduler kind backing this engine.
+func (e *Engine) Scheduler() Scheduler { return e.kind }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
 // SetAudit toggles continuous causality checking: every popped event's
 // timestamp is verified against virtual-time monotonicity, so a corrupted
-// heap order panics at the first out-of-order pop instead of silently
-// reordering the simulation. Costs one comparison per event when on.
+// queue order — a mis-bucketed wheel slot, a broken heap, an out-of-order
+// lane — panics at the first out-of-order pop instead of silently
+// reordering the simulation. Lane pushes are additionally checked for the
+// FIFO monotonicity their contract requires. Costs one comparison per
+// event when on.
 func (e *Engine) SetAudit(on bool) { e.audit = on }
 
 // checkCausality panics if executing an event at t would move the clock
 // backwards. At/After already reject past scheduling, so a violation here
-// means the priority queue itself mis-ordered events.
+// means the priority queue itself mis-ordered events — under the wheel
+// scheduler, that an event was cascaded into a slot behind the cursor.
 func (e *Engine) checkCausality(t float64) {
 	if t < e.now {
 		panic("netsim: audit: event queue popped an event before the current virtual time")
@@ -93,7 +217,7 @@ func (e *Engine) checkCausality(t float64) {
 
 // At schedules fn at absolute time t. Scheduling in the past or at NaN
 // panics: both are always simulation bugs (a NaN timestamp would silently
-// corrupt the heap order, since NaN compares false against everything).
+// corrupt the queue order, since NaN compares false against everything).
 func (e *Engine) At(t float64, fn func()) {
 	if math.IsNaN(t) {
 		panic("netsim: scheduling at NaN")
@@ -102,7 +226,8 @@ func (e *Engine) At(t float64, fn func()) {
 		panic("netsim: scheduling into the past")
 	}
 	e.seq++
-	e.push(event{t: t, seq: e.seq, fn: fn})
+	e.schedGen++
+	e.sched.push(event{t: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn d seconds from now. Negative or NaN d panics.
@@ -113,24 +238,15 @@ func (e *Engine) After(d float64, fn func()) {
 	e.At(e.now+d, fn)
 }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.pq) }
+// Pending returns the number of queued events, counting each pending lane
+// entry once.
+func (e *Engine) Pending() int { return e.sched.len() + e.laneEntries }
 
 // RunUntil executes events in timestamp order until the queue is empty or
 // the next event is after t; the clock ends at exactly t (or later events
 // remain queued). It returns the number of events executed.
 func (e *Engine) RunUntil(t float64) int {
-	n := 0
-	for len(e.pq) > 0 && e.pq[0].t <= t {
-		ev := e.pop()
-		if e.audit {
-			e.checkCausality(ev.t)
-		}
-		e.now = ev.t
-		ev.fn()
-		n++
-		e.checkBudget()
-	}
+	n := e.run(t)
 	if e.now < t {
 		e.now = t
 	}
@@ -139,10 +255,36 @@ func (e *Engine) RunUntil(t float64) int {
 
 // Run executes all events until the queue drains. Use RunUntil for open
 // systems that generate events forever.
-func (e *Engine) Run() int {
+func (e *Engine) Run() int { return e.run(math.Inf(1)) }
+
+// run is the shared event loop: each step compares the scheduler minimum
+// with the best lane head (root of laneQ) and executes whichever has the
+// smaller (t, seq) key, repeating while its time is within the horizon.
+// Picking a lane removes it from laneQ and drains the burst of
+// consecutive entries that still precede everything else (runLane), then
+// re-queues it if entries remain.
+func (e *Engine) run(until float64) int {
 	n := 0
-	for len(e.pq) > 0 {
-		ev := e.pop()
+	for {
+		mt, mseq, ok := e.sched.peek()
+		if len(e.laneQ) > 0 {
+			r := e.laneQ[0]
+			if !ok || r.t < mt || (r.t == mt && r.seq < mseq) {
+				// r.t <= until is implied whenever the scheduler still has
+				// in-horizon work (r precedes it), so this check only
+				// triggers when the lane head is the true stopping point.
+				if r.t > until {
+					return n
+				}
+				e.laneQPop()
+				n += e.runLane(r.ln, until)
+				continue
+			}
+		}
+		if !ok || mt > until {
+			return n
+		}
+		ev := e.sched.pop()
 		if e.audit {
 			e.checkCausality(ev.t)
 		}
@@ -151,7 +293,6 @@ func (e *Engine) Run() int {
 		n++
 		e.checkBudget()
 	}
-	return n
 }
 
 type event struct {
@@ -161,65 +302,10 @@ type event struct {
 }
 
 // less orders by time, then by scheduling sequence — a total order, so any
-// valid heap pops events in exactly one sequence.
+// valid queue pops events in exactly one sequence.
 func (a event) less(b event) bool {
 	if a.t != b.t {
 		return a.t < b.t
 	}
 	return a.seq < b.seq
-}
-
-// push appends ev and sifts it up the 4-ary heap.
-func (e *Engine) push(ev event) {
-	e.pq = append(e.pq, ev)
-	i := len(e.pq) - 1
-	for i > 0 {
-		p := (i - 1) / 4
-		if !e.pq[i].less(e.pq[p]) {
-			break
-		}
-		e.pq[i], e.pq[p] = e.pq[p], e.pq[i]
-		i = p
-	}
-}
-
-// pop removes and returns the minimum event.
-func (e *Engine) pop() event {
-	top := e.pq[0]
-	n := len(e.pq) - 1
-	e.pq[0] = e.pq[n]
-	e.pq[n] = event{} // drop the fn reference so the closure can be collected
-	e.pq = e.pq[:n]
-	if n > 1 {
-		e.siftDown(0)
-	}
-	return top
-}
-
-// siftDown restores heap order below index i. A 4-ary layout halves the
-// tree depth of the binary heap and keeps the four children of a node in
-// one or two cache lines of the 24-byte events.
-func (e *Engine) siftDown(i int) {
-	n := len(e.pq)
-	for {
-		c := 4*i + 1
-		if c >= n {
-			return
-		}
-		best := c
-		end := c + 4
-		if end > n {
-			end = n
-		}
-		for j := c + 1; j < end; j++ {
-			if e.pq[j].less(e.pq[best]) {
-				best = j
-			}
-		}
-		if !e.pq[best].less(e.pq[i]) {
-			return
-		}
-		e.pq[i], e.pq[best] = e.pq[best], e.pq[i]
-		i = best
-	}
 }

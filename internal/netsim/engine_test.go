@@ -7,181 +7,226 @@ import (
 	"testing/quick"
 )
 
+// schedulers lists both queue implementations; every engine-semantics test
+// runs against each, since the Scheduler contract promises identical
+// behavior.
+var schedulers = []Scheduler{SchedulerWheel, SchedulerHeap}
+
+// forEachScheduler runs f as a subtest per scheduler kind with a fresh
+// engine of that kind.
+func forEachScheduler(t *testing.T, f func(t *testing.T, e *Engine)) {
+	t.Helper()
+	for _, k := range schedulers {
+		t.Run(k.String(), func(t *testing.T) { f(t, NewEngineSched(k)) })
+	}
+}
+
 func TestEngineOrdersEvents(t *testing.T) {
-	e := NewEngine()
-	var got []float64
-	for _, tm := range []float64{3, 1, 2, 1.5} {
-		tm := tm
-		e.At(tm, func() { got = append(got, tm) })
-	}
-	e.Run()
-	if !sort.Float64sAreSorted(got) {
-		t.Fatalf("events out of order: %v", got)
-	}
-	if e.Now() != 3 {
-		t.Fatalf("clock = %v", e.Now())
-	}
+	forEachScheduler(t, func(t *testing.T, e *Engine) {
+		var got []float64
+		for _, tm := range []float64{3, 1, 2, 1.5} {
+			tm := tm
+			e.At(tm, func() { got = append(got, tm) })
+		}
+		e.Run()
+		if !sort.Float64sAreSorted(got) {
+			t.Fatalf("events out of order: %v", got)
+		}
+		if e.Now() != 3 {
+			t.Fatalf("clock = %v", e.Now())
+		}
+	})
 }
 
 func TestEngineFIFOAtEqualTimes(t *testing.T) {
-	e := NewEngine()
-	var got []int
-	for i := 0; i < 10; i++ {
-		i := i
-		e.At(5, func() { got = append(got, i) })
-	}
-	e.Run()
-	for i, v := range got {
-		if v != i {
-			t.Fatalf("equal-time events not FIFO: %v", got)
+	forEachScheduler(t, func(t *testing.T, e *Engine) {
+		var got []int
+		for i := 0; i < 10; i++ {
+			i := i
+			e.At(5, func() { got = append(got, i) })
 		}
-	}
+		e.Run()
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("equal-time events not FIFO: %v", got)
+			}
+		}
+	})
 }
 
 func TestEngineRunUntil(t *testing.T) {
-	e := NewEngine()
-	fired := 0
-	e.At(1, func() { fired++ })
-	e.At(2, func() { fired++ })
-	e.At(3, func() { fired++ })
-	if n := e.RunUntil(2); n != 2 || fired != 2 {
-		t.Fatalf("n=%d fired=%d", n, fired)
-	}
-	if e.Now() != 2 {
-		t.Fatalf("clock = %v", e.Now())
-	}
-	if e.Pending() != 1 {
-		t.Fatalf("pending = %d", e.Pending())
-	}
-	e.RunUntil(10)
-	if fired != 3 || e.Now() != 10 {
-		t.Fatalf("fired=%d now=%v", fired, e.Now())
-	}
+	forEachScheduler(t, func(t *testing.T, e *Engine) {
+		fired := 0
+		e.At(1, func() { fired++ })
+		e.At(2, func() { fired++ })
+		e.At(3, func() { fired++ })
+		if n := e.RunUntil(2); n != 2 || fired != 2 {
+			t.Fatalf("n=%d fired=%d", n, fired)
+		}
+		if e.Now() != 2 {
+			t.Fatalf("clock = %v", e.Now())
+		}
+		if e.Pending() != 1 {
+			t.Fatalf("pending = %d", e.Pending())
+		}
+		e.RunUntil(10)
+		if fired != 3 || e.Now() != 10 {
+			t.Fatalf("fired=%d now=%v", fired, e.Now())
+		}
+	})
 }
 
 func TestEngineNestedScheduling(t *testing.T) {
-	e := NewEngine()
-	var trace []string
-	e.At(1, func() {
-		trace = append(trace, "a")
-		e.After(0.5, func() { trace = append(trace, "b") })
-		e.After(0, func() { trace = append(trace, "a2") }) // same-time follow-up
-	})
-	e.At(1.2, func() { trace = append(trace, "c") })
-	e.Run()
-	want := []string{"a", "a2", "c", "b"}
-	for i := range want {
-		if trace[i] != want[i] {
-			t.Fatalf("trace = %v", trace)
+	forEachScheduler(t, func(t *testing.T, e *Engine) {
+		var trace []string
+		e.At(1, func() {
+			trace = append(trace, "a")
+			e.After(0.5, func() { trace = append(trace, "b") })
+			e.After(0, func() { trace = append(trace, "a2") }) // same-time follow-up
+		})
+		e.At(1.2, func() { trace = append(trace, "c") })
+		e.Run()
+		want := []string{"a", "a2", "c", "b"}
+		for i := range want {
+			if trace[i] != want[i] {
+				t.Fatalf("trace = %v", trace)
+			}
 		}
-	}
+	})
 }
 
 func TestEnginePastSchedulingPanics(t *testing.T) {
-	e := NewEngine()
-	e.At(5, func() {})
-	e.RunUntil(5)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	e.At(4, func() {})
+	forEachScheduler(t, func(t *testing.T, e *Engine) {
+		e.At(5, func() {})
+		e.RunUntil(5)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		e.At(4, func() {})
+	})
 }
 
 func TestEngineAfterRejectsInvalidDelay(t *testing.T) {
-	for _, d := range []float64{-1, -1e-9, math.NaN()} {
-		d := d
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("After(%v) did not panic", d)
-				}
+	forEachScheduler(t, func(t *testing.T, e *Engine) {
+		for _, d := range []float64{-1, -1e-9, math.NaN()} {
+			d := d
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatalf("After(%v) did not panic", d)
+					}
+				}()
+				NewEngineSched(e.Scheduler()).After(d, func() {})
 			}()
-			NewEngine().After(d, func() {})
-		}()
-	}
-	// +Inf is a valid (if useless) future time; it must not panic and
-	// must not corrupt ordering of finite events.
-	e := NewEngine()
-	fired := false
-	e.After(math.Inf(1), func() {})
-	e.After(1, func() { fired = true })
-	e.RunUntil(2)
-	if !fired || e.Pending() != 1 {
-		t.Fatalf("fired=%v pending=%d", fired, e.Pending())
-	}
+		}
+		// +Inf is a valid (if useless) future time; it must not panic and
+		// must not corrupt ordering of finite events.
+		fired := false
+		e.After(math.Inf(1), func() {})
+		e.After(1, func() { fired = true })
+		e.RunUntil(2)
+		if !fired || e.Pending() != 1 {
+			t.Fatalf("fired=%v pending=%d", fired, e.Pending())
+		}
+	})
 }
 
 func TestEngineAtRejectsNaN(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("At(NaN) did not panic")
-		}
-	}()
-	NewEngine().At(math.NaN(), func() {})
+	forEachScheduler(t, func(t *testing.T, e *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("At(NaN) did not panic")
+			}
+		}()
+		e.At(math.NaN(), func() {})
+	})
 }
 
 func TestEngineClockMonotoneProperty(t *testing.T) {
-	if err := quick.Check(func(times []float64) bool {
-		e := NewEngine()
-		last := -1.0
-		ok := true
-		for _, tm := range times {
-			if tm < 0 || tm != tm { // negative or NaN
-				continue
-			}
-			e.At(tm, func() {
-				if e.Now() < last {
-					ok = false
+	for _, k := range schedulers {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			if err := quick.Check(func(times []float64) bool {
+				e := NewEngineSched(k)
+				last := -1.0
+				ok := true
+				for _, tm := range times {
+					if tm < 0 || tm != tm { // negative or NaN
+						continue
+					}
+					e.At(tm, func() {
+						if e.Now() < last {
+							ok = false
+						}
+						last = e.Now()
+					})
 				}
-				last = e.Now()
-			})
-		}
-		e.Run()
-		return ok
-	}, &quick.Config{MaxCount: 100}); err != nil {
-		t.Fatal(err)
+				e.Run()
+				return ok
+			}, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 
 func TestEngineEventBudgetTripsOnLivelock(t *testing.T) {
-	e := NewEngine()
-	e.SetEventBudget(1000)
-	var spin func()
-	spin = func() { e.After(0, spin) } // classic zero-delay self-scheduler
-	e.At(1, spin)
-	defer func() {
-		le, ok := recover().(*LivelockError)
-		if !ok {
-			t.Fatalf("expected *LivelockError panic, got %v", le)
-		}
-		if le.Budget != 1000 || le.Now != 1 {
-			t.Fatalf("LivelockError = %+v", le)
-		}
-		if le.Error() == "" {
-			t.Fatal("empty error message")
-		}
-	}()
-	e.Run()
-	t.Fatal("Run returned despite livelock")
+	forEachScheduler(t, func(t *testing.T, e *Engine) {
+		e.SetEventBudget(1000)
+		var spin func()
+		spin = func() { e.After(0, spin) } // classic zero-delay self-scheduler
+		e.At(1, spin)
+		defer func() {
+			le, ok := recover().(*LivelockError)
+			if !ok {
+				t.Fatalf("expected *LivelockError panic, got %v", le)
+			}
+			if le.Budget != 1000 || le.Now != 1 {
+				t.Fatalf("LivelockError = %+v", le)
+			}
+			if le.Error() == "" {
+				t.Fatal("empty error message")
+			}
+		}()
+		e.Run()
+		t.Fatal("Run returned despite livelock")
+	})
 }
 
 func TestEngineNoBudgetMeansNoTrip(t *testing.T) {
-	e := NewEngine()
-	n := 0
-	var spin func()
-	spin = func() {
-		if n++; n < 100000 {
-			e.After(0, spin)
+	forEachScheduler(t, func(t *testing.T, e *Engine) {
+		n := 0
+		var spin func()
+		spin = func() {
+			if n++; n < 100000 {
+				e.After(0, spin)
+			}
 		}
+		e.At(1, spin)
+		e.Run() // no budget set: a long (but finite) zero-delay chain completes
+		if n != 100000 {
+			t.Fatalf("n = %d", n)
+		}
+		if e.Executed() != 100000 {
+			t.Fatalf("Executed = %d", e.Executed())
+		}
+	})
+}
+
+func TestSetDefaultScheduler(t *testing.T) {
+	orig := DefaultScheduler()
+	defer SetDefaultScheduler(orig)
+	prev := SetDefaultScheduler(SchedulerHeap)
+	if prev != orig {
+		t.Fatalf("prev = %v, want %v", prev, orig)
 	}
-	e.At(1, spin)
-	e.Run() // no budget set: a long (but finite) zero-delay chain completes
-	if n != 100000 {
-		t.Fatalf("n = %d", n)
+	if e := NewEngine(); e.Scheduler() != SchedulerHeap {
+		t.Fatalf("NewEngine scheduler = %v", e.Scheduler())
 	}
-	if e.Executed() != 100000 {
-		t.Fatalf("Executed = %d", e.Executed())
+	SetDefaultScheduler(SchedulerWheel)
+	if e := NewEngine(); e.Scheduler() != SchedulerWheel {
+		t.Fatalf("NewEngine scheduler = %v", e.Scheduler())
 	}
 }

@@ -1,0 +1,86 @@
+package netsim
+
+// eventHeap is the value-typed 4-ary min-heap over event structs from
+// PR 2, shared by the reference heap scheduler and the timing wheel's
+// ready/overflow structures: scheduling allocates nothing in steady state
+// (the backing array is reused across push/pop), and the (t, seq) key is
+// a total order, so pop order is independent of heap shape.
+type eventHeap []event
+
+// push appends ev and sifts it up the 4-ary heap.
+func (h *eventHeap) push(ev event) {
+	pq := append(*h, ev)
+	i := len(pq) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !pq[i].less(pq[p]) {
+			break
+		}
+		pq[i], pq[p] = pq[p], pq[i]
+		i = p
+	}
+	*h = pq
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	pq := *h
+	top := pq[0]
+	n := len(pq) - 1
+	pq[0] = pq[n]
+	pq[n] = event{} // drop the fn reference so the closure can be collected
+	*h = pq[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+// siftDown restores heap order below index i. A 4-ary layout halves the
+// tree depth of the binary heap and keeps the four children of a node in
+// one or two cache lines.
+func (h *eventHeap) siftDown(i int) {
+	pq := *h
+	n := len(pq)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			return
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if pq[j].less(pq[best]) {
+				best = j
+			}
+		}
+		if !pq[best].less(pq[i]) {
+			return
+		}
+		pq[i], pq[best] = pq[best], pq[i]
+		i = best
+	}
+}
+
+// heapSched is the reference scheduler: one global 4-ary heap. O(log n)
+// insert and pop, trivially correct (t, seq) order; kept swappable behind
+// the scheduler interface so the timing wheel can be diffed against it.
+type heapSched struct {
+	h eventHeap
+}
+
+func (s *heapSched) push(ev event) { s.h.push(ev) }
+
+func (s *heapSched) pop() event { return s.h.pop() }
+
+func (s *heapSched) peek() (float64, uint64, bool) {
+	if len(s.h) == 0 {
+		return 0, 0, false
+	}
+	return s.h[0].t, s.h[0].seq, true
+}
+
+func (s *heapSched) len() int { return len(s.h) }

@@ -178,6 +178,15 @@ type linkDir struct {
 	tapHeld   int    // packets held in a tap- or fault-imposed delay, not yet on the link
 	epoch     uint64 // bumped on link failure; queued packets from older epochs are gone
 	stats     LinkStats
+
+	// wire and deliver are the direction's batching lanes (see Lane): the
+	// serialization-done events and the delivery events of consecutive
+	// packets are FIFO in time, so they skip the priority queue. Entries
+	// pair one-to-one — the k-th wire entry flags the k-th deliver entry
+	// live (Ref carries the position) exactly as the closure path's shared
+	// onWire bool did.
+	wire    *Lane
+	deliver *Lane
 }
 
 // Up reports whether the link is currently up.
@@ -397,9 +406,24 @@ func (l *Link) enqueue(p *packet.Packet, dir Direction) {
 	// events become no-ops. A failure at exactly start+tx drops the packet
 	// iff the failure event is processed first — deterministic, since
 	// engine ties break by scheduling order.
+	//
+	// Fast path: both events ride the direction's lanes — one ring append
+	// each, no closures, and bursts drain in one dequeue. Times are FIFO
+	// by construction (busyUntil only advances while the link is up), but
+	// a failure resets the horizon, so new times can regress behind stale
+	// pending entries; then this packet takes the closure path. Both
+	// events go the same way so the wire↔deliver position pairing stays
+	// aligned. Seq assignment is identical on either path (two bumps, wire
+	// first), so the execution order — and every trace byte — is too.
 	epoch := d.epoch
+	tw, td := start+tx, start+tx+l.Delay
+	if !DebugHooks.DisableLinkLanes && d.wire.CanPush(tw) && d.deliver.CanPush(td) {
+		d.wire.push(tw, LaneEntry{Tag: epoch, Ref: d.deliver.NextPos()})
+		d.deliver.push(td, LaneEntry{P: p})
+		return
+	}
 	onWire := false
-	eng.At(start+tx, func() {
+	eng.At(tw, func() {
 		if d.epoch != epoch {
 			return
 		}
@@ -407,7 +431,7 @@ func (l *Link) enqueue(p *packet.Packet, dir Direction) {
 		d.onWire++
 		onWire = true
 	})
-	eng.At(start+tx+l.Delay, func() {
+	eng.At(td, func() {
 		if !onWire {
 			return
 		}
@@ -417,4 +441,37 @@ func (l *Link) enqueue(p *packet.Packet, dir Direction) {
 		l.net.probeLink(LinkDelivered, l, dir, p)
 		dst.receive(p, l)
 	})
+}
+
+// initLanes creates the four per-direction lanes (wire + deliver each
+// way). The lane callbacks replay exactly the closure bodies above: the
+// wire entry is epoch-guarded and flags its paired deliver entry live; the
+// deliver entry no-ops unless flagged.
+func (l *Link) initLanes() {
+	for i := range l.dir {
+		d := &l.dir[i]
+		dir := Direction(i)
+		dst := l.b
+		if dir == BToA {
+			dst = l.a
+		}
+		d.deliver = l.net.eng.NewLane(func(en LaneEntry) {
+			if !en.OK {
+				return
+			}
+			d.onWire--
+			d.stats.Delivered++
+			d.stats.Bytes += uint64(en.P.Size)
+			l.net.probeLink(LinkDelivered, l, dir, en.P)
+			dst.receive(en.P, l)
+		})
+		d.wire = l.net.eng.NewLane(func(en LaneEntry) {
+			if d.epoch != en.Tag {
+				return
+			}
+			d.qlen--
+			d.onWire++
+			d.deliver.Flag(en.Ref)
+		})
+	}
 }

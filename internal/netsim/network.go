@@ -116,6 +116,7 @@ func (nw *Network) Connect(a, b *Node, rateBps, delay float64, queueCap int) *Li
 		panic("netsim: connecting foreign nodes")
 	}
 	l := &Link{net: nw, a: a, b: b, idx: len(nw.links), RateBps: rateBps, Delay: delay, QueueCap: queueCap, up: true}
+	l.initLanes()
 	nw.links = append(nw.links, l)
 	a.links = append(a.links, l)
 	b.links = append(b.links, l)

@@ -1,10 +1,23 @@
 // Package stats provides the deterministic randomness, probability
 // distributions, and summary statistics used throughout the reproduction.
 //
+// # Determinism contract
+//
 // Everything in this package is seed-deterministic: two runs with the same
 // seed produce bit-identical results. Simulation code must obtain all
 // randomness from an *RNG (never from the global math/rand source or the
 // wall clock) so that experiments are reproducible.
+//
+// Independent streams come from SplitMix64 child derivation, not from
+// sharing one generator: a parent RNG hands out numbered children (Child),
+// and ChildAt(seed, k) reaches the k-th child without constructing the
+// parent — the derivation every parallel sweep uses so that trial k's
+// stream depends only on the root seed and k, never on worker count,
+// completion order, or how many draws other trials made. Two streams
+// derived this way are unrelated even for adjacent seeds (the second PCG
+// word is itself SplitMix64-expanded). Code that interleaves draws from a
+// single stream across logically concurrent actors breaks the contract;
+// give each actor its own child.
 package stats
 
 import (
