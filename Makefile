@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race audit bench bench-smoke bench-gate fuzz-smoke chaos-smoke report
+.PHONY: check vet build test race audit bench bench-smoke bench-gate pop-smoke fuzz-smoke chaos-smoke report
 
 ## check: the full gate — vet, build, race-enabled tests.
 check: vet build race
@@ -24,10 +24,10 @@ audit:
 	DUI_AUDIT=1 $(GO) test -race ./...
 
 ## bench: the per-experiment and substrate benchmarks (minutes); refreshes
-## BENCH_3.json, the repo's benchmark-trajectory file (BENCH_2.json is the
-## frozen pre-timing-wheel snapshot it is compared against).
+## BENCH_4.json, the repo's benchmark-trajectory file (BENCH_2.json is the
+## frozen pre-timing-wheel snapshot, BENCH_3.json the pre-PoP-scale one).
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem -count=1 -timeout 60m . | $(GO) run ./cmd/benchjson -o BENCH_3.json
+	$(GO) test -run '^$$' -bench=. -benchmem -count=1 -timeout 60m . | $(GO) run ./cmd/benchjson -o BENCH_4.json
 
 ## bench-smoke: the fast substrate subset CI runs on every push.
 bench-smoke:
@@ -37,9 +37,20 @@ bench-smoke:
 ## checked-in floors in BENCH_FLOOR.json (warn-only by default; CI uses
 ## this as a regression smoke, not a hard gate — shared runners are noisy).
 bench-gate:
-	$(GO) test -run '^$$' -bench=Engine -benchmem -count=1 -timeout 20m . \
+	$(GO) test -run '^$$' -bench='Engine|PopScale' -benchmem -count=1 -timeout 20m . \
 		| $(GO) run ./cmd/benchjson -o BENCH_GATE.json
 	$(GO) run ./cmd/benchgate -floor BENCH_FLOOR.json BENCH_GATE.json
+
+## pop-smoke: the PoP-scale determinism gate — a 512-prefix / ~34k-flow
+## blink-pop run with the bank-vs-scalar audit on every 8th prefix, executed
+## once single-shard single-worker and once with 7 shards on 4 workers; the
+## deterministic stdout must be byte-identical (cmp) or the target fails.
+pop-smoke:
+	$(GO) build -o /tmp/blink-pop ./cmd/blink-pop
+	/tmp/blink-pop -quick -audit-every 8 -shards 1 -parallel 1 2>/dev/null > /tmp/pop-smoke-a.txt
+	/tmp/blink-pop -quick -audit-every 8 -shards 7 -parallel 4 2>/dev/null > /tmp/pop-smoke-b.txt
+	cmp /tmp/pop-smoke-a.txt /tmp/pop-smoke-b.txt
+	@echo "pop-smoke: shard/worker-count independent output verified"
 
 ## fuzz-smoke: a race-enabled 200-seed scenario-fuzzing campaign with
 ## shrinking plus a replay of the committed reproducer corpus — the

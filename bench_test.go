@@ -161,14 +161,22 @@ func BenchmarkEngineLinkBurst(b *testing.B) {
 			nw.ComputeRoutes()
 			received := 0
 			h2.SetReceiver(netsim.ReceiverFunc(func(now float64, p *packet.Packet) { received++ }))
+			// The burst population is allocated once and re-sent every
+			// iteration — each burst fully drains before the next, and a
+			// direct host-to-host Send only restamps the packet ID — so
+			// the timed loop measures the link path alone, allocation-free.
 			const burst = 256
+			pkts := make([]*packet.Packet, burst)
+			for j := range pkts {
+				pkts[j] = packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{Seq: uint32(j)}, 1500)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			events := uint64(0)
 			for i := 0; i < b.N; i += burst {
 				before := nw.Engine().Executed()
 				for j := 0; j < burst; j++ {
-					h1.Send(packet.NewTCP(h1.Addr, h2.Addr, packet.TCPHeader{Seq: uint32(j)}, 1500))
+					h1.Send(pkts[j])
 				}
 				nw.RunUntil(nw.Now() + 1)
 				events += nw.Engine().Executed() - before
@@ -322,6 +330,42 @@ func BenchmarkE8Defenses(b *testing.B) {
 		vetoed = float64(res.VetoedReroutes)
 	}
 	b.ReportMetric(vetoed, "vetoed-reroutes")
+}
+
+// BenchmarkPopScale measures the PoP-scale steady state: a prefix-
+// interleaved stream of 4096 prefixes × 64 flows (262k concurrently
+// active) fed through a MonitorBank's flat per-prefix selectors. The
+// timed loop is the real per-packet path of cmd/blink-pop — generator
+// Next plus bank Feed — and must stay at 0 allocs/op (pinned here and by
+// TestMonitorBankFeedZeroAllocs). flows/sec is the headline metric:
+// concurrently-active flows × virtual seconds per wall second, which for
+// this workload equals events/sec ÷ PPS.
+func BenchmarkPopScale(b *testing.B) {
+	const prefixes = 4096
+	pop := trace.PopConfig{
+		Prefixes: prefixes, FlowsPerPrefix: 64,
+		Dur: trace.ExpDuration{MeanSec: 6.35}, PPS: 2,
+		Until: math.Inf(1), Seed: 1,
+	}.Defaults()
+	sh := trace.NewPopShard(pop, 0, prefixes)
+	bank := blink.NewMonitorBank(prefixes, blink.Config{})
+	feed := func() {
+		ev, _ := sh.Next()
+		bank.Feed(ev.Prefix, ev.Time, ev.Pkt)
+	}
+	// Warm through initial occupancy and into eviction/renewal churn.
+	for i := 0; i < prefixes*64*2; i++ {
+		feed()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feed()
+	}
+	b.StopTimer()
+	evps := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(evps, "events/sec")
+	b.ReportMetric(evps/pop.PPS, "flows/sec")
 }
 
 // BenchmarkSubstrateFlowSelector measures the hot data-plane path: one

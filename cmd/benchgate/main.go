@@ -17,7 +17,7 @@
 // measurement file (a silently-skipped check would read as a pass).
 //
 // The floors are deliberately conservative relative to the numbers in
-// BENCH_3.json: they are meant to catch "the optimization fell off" (a
+// BENCH_4.json: they are meant to catch "the optimization fell off" (a
 // 2×-or-worse cliff, an allocation reappearing on the steady-state path),
 // not a 10% wobble.
 package main

@@ -1,0 +1,84 @@
+// Command blink-pop runs Blink at PoP scale: a bank of per-prefix flow
+// selectors (internal/blink.MonitorBank) over a streamed population of
+// millions of concurrent flows (internal/trace.PopShard), sharded across
+// the trial runner with a deterministic merge (internal/popscale).
+//
+// Everything on stdout is a pure function of the flags — byte-identical
+// at any -shards and -parallel setting (the property `make pop-smoke`
+// asserts with cmp). Wall-clock throughput (simulated flows/sec,
+// events/sec) and the peak-memory summary go to stderr, so redirecting
+// stdout captures a reproducible artifact:
+//
+//	go run ./cmd/blink-pop -memstats > pop.txt
+//	go run ./cmd/blink-pop -prefixes 16384 -shards 64   # 1M+ active flows
+//
+// With -audit-every k, every k-th prefix is mirrored into a shadow scalar
+// blink.Monitor under the full selector-invariant audits, and the run
+// fails loudly if the bank diverges from the reference implementation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"dui/internal/popscale"
+	"dui/internal/prof"
+)
+
+func main() {
+	var cfg popscale.Config
+	flag.IntVar(&cfg.Prefixes, "prefixes", 16384, "monitored /24 prefixes")
+	flag.IntVar(&cfg.FlowsPerPrefix, "flows-per-prefix", 64, "concurrently active legitimate flows per prefix")
+	flag.Float64Var(&cfg.Duration, "duration", 20, "simulated horizon (seconds)")
+	flag.Float64Var(&cfg.PPS, "pps", 2, "mean per-flow packet rate")
+	flag.Float64Var(&cfg.MeanFlowDuration, "flow-duration", 6.35, "mean legitimate flow duration (seconds)")
+	flag.Float64Var(&cfg.Epoch, "epoch", 1, "prefix-interleave granularity (seconds)")
+	flag.IntVar(&cfg.AttackedEvery, "attack-every", 16, "attack pool on every k-th prefix (0 = attack-free)")
+	flag.IntVar(&cfg.AttackFlows, "attack-flows", 48, "attack pool size per attacked prefix (>= threshold so storms can win the majority vote)")
+	flag.Float64Var(&cfg.StormAt, "storm-at", 0, "retransmission-storm start (0 = duration/2, <0 = never)")
+	flag.Uint64Var(&cfg.Seed, "seed", 1, "root seed (prefix pid streams from ChildAt(seed, pid))")
+	flag.IntVar(&cfg.Shards, "shards", 32, "contiguous prefix-range shards (output identical at any value)")
+	flag.IntVar(&cfg.Parallel, "parallel", 0, "workers for the shard pool (0 = all cores; output identical at any value)")
+	flag.IntVar(&cfg.AuditEvery, "audit-every", 0, "cross-check every k-th prefix against a shadow scalar Monitor (0 = off)")
+	quick := flag.Bool("quick", false, "reduced-scale smoke run (512 prefixes, 10 s)")
+	failures := flag.Int("failures", 5, "print the first N failure inferences")
+	flag.Parse()
+	defer prof.Start()()
+
+	if *quick {
+		cfg.Prefixes, cfg.Duration = 512, 10
+	}
+
+	res, err := popscale.Run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blink-pop:", err)
+		os.Exit(1)
+	}
+	cfg = res.Config // defaulted
+
+	fmt.Printf("# blink-pop: prefixes=%d flows/prefix=%d duration=%gs pps=%g seed=%d\n",
+		cfg.Prefixes, cfg.FlowsPerPrefix, cfg.Duration, cfg.PPS, cfg.Seed)
+	fmt.Printf("active flows:  %d (%d attacked prefixes)\n", res.ActiveFlows, res.AttackedPrefixes)
+	fmt.Printf("packets:       %d\n", res.Packets)
+	fmt.Printf("occupied:      %d cells at t=%g\n", res.OccupiedCells, cfg.Duration)
+	fmt.Printf("failures:      %d inferences on %d prefixes\n", len(res.Failures), res.PrefixesWithFailure)
+	for i, f := range res.Failures {
+		if i >= *failures {
+			fmt.Printf("  … %d more\n", len(res.Failures)-i)
+			break
+		}
+		fmt.Printf("  prefix %d failed at t=%.3fs\n", f.Prefix, f.Now)
+	}
+	if cfg.AuditEvery > 0 {
+		fmt.Printf("audited:       %d prefixes bit-identical to scalar monitors\n", res.AuditedPrefixes)
+	}
+	fmt.Printf("state hash:    %016x\n", res.StateHash)
+
+	fmt.Fprintf(os.Stderr, "wall: %.2fs  flows/sec: %.3gM  events/sec: %.3gM  (shards=%d parallel=%d)\n",
+		res.WallSeconds, res.FlowsPerSec/1e6, res.EventsPerSec/1e6, cfg.Shards, cfg.Parallel)
+	if rss, ok := prof.PeakRSS(); ok {
+		fmt.Fprintf(os.Stderr, "peak RSS: %.1f MiB\n", float64(rss)/(1<<20))
+	}
+}

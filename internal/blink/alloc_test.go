@@ -41,6 +41,64 @@ func TestMonitorFeedZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestMonitorBankFeedZeroAllocs pins 0 allocs/op for MonitorBank.Feed on
+// a warm bank: the PoP-scale hot path — segment slicing, the shared
+// selector core, and the bank's observer dispatch — must not touch the
+// heap even while packets round-robin across prefixes.
+func TestMonitorBankFeedZeroAllocs(t *testing.T) {
+	const prefixes = 64
+	bank := NewMonitorBank(prefixes, Config{})
+	pkts := make([]*packet.Packet, 256)
+	for i := range pkts {
+		pkts[i] = packet.NewTCP(packet.Addr(i+1), Victim.Nth(1), packet.TCPHeader{
+			SrcPort: uint16(1000 + i), DstPort: 443, Flags: packet.FlagACK,
+		}, 1500)
+	}
+	now := 0.0
+	i := 0
+	feed := func() {
+		p := pkts[i%len(pkts)]
+		p.TCP.Seq += 1460
+		now += 0.0005
+		bank.Feed(i%prefixes, now, p)
+		i++
+	}
+	for k := 0; k < 32768; k++ {
+		feed()
+	}
+	if avg := testing.AllocsPerRun(10000, feed); avg != 0 {
+		t.Fatalf("MonitorBank.Feed allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestMonitorBankFeedZeroAllocsDuringStorm pins the same guarantee in the
+// retransmission-storm regime, with inference armed but unreachable so the
+// rare failure-record append stays off the measured path.
+func TestMonitorBankFeedZeroAllocsDuringStorm(t *testing.T) {
+	const prefixes = 64
+	bank := NewMonitorBank(prefixes, Config{})
+	bank.cfg.Threshold = bank.cfg.Cells + 1
+	pkts := make([]*packet.Packet, 256)
+	for i := range pkts {
+		pkts[i] = packet.NewTCP(packet.Addr(i+1), Victim.Nth(1), packet.TCPHeader{
+			SrcPort: uint16(1000 + i), DstPort: 443, Seq: 7300, Flags: packet.FlagACK,
+		}, 1500)
+	}
+	now := 0.0
+	i := 0
+	feed := func() {
+		bank.Feed(i%prefixes, now, pkts[i%len(pkts)]) // constant seq: every data packet retransmits
+		now += 0.0005
+		i++
+	}
+	for k := 0; k < 32768; k++ {
+		feed()
+	}
+	if avg := testing.AllocsPerRun(10000, feed); avg != 0 {
+		t.Fatalf("MonitorBank.Feed (storm) allocates %.1f objects/op, want 0", avg)
+	}
+}
+
 // TestMonitorFeedZeroAllocsDuringStorm pins the same guarantee during a
 // retransmission storm — every packet repeats its flow's sequence number —
 // which is exactly the regime the incremental inference count exists for.

@@ -1,0 +1,196 @@
+package blink
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dui/internal/packet"
+	"dui/internal/trace"
+)
+
+// popWorkload is the shared equivalence workload: a prefix-interleaved
+// stream over a mixed population — every 4th prefix hosts an attack pool
+// big enough to win the majority vote once its storm starts — so the
+// comparison covers sampling, eviction, sequence tracking, genuine and
+// fake retransmissions, sample resets, and failure inferences.
+func popWorkload(prefixes int) trace.PopConfig {
+	return trace.PopConfig{
+		Prefixes: prefixes, FlowsPerPrefix: 24,
+		Dur: trace.ExpDuration{MeanSec: 3}, PPS: 4,
+		Until: 30, Seed: 0xbacca, Epoch: 0.5,
+		AttackedEvery: 4, AttackFlows: 40, AttackPPS: 4, StormAt: 12,
+	}.Defaults()
+}
+
+// TestMonitorBankMatchesMonitors is the tentpole property: feeding N
+// prefixes' interleaved packets through one MonitorBank leaves every
+// prefix bit-identical — cells including unexported tracking fields,
+// incremental window counters, failure times, and callback events — to N
+// independent scalar Monitors fed the same per-prefix packets.
+func TestMonitorBankMatchesMonitors(t *testing.T) {
+	const prefixes = 32
+	cfg := popWorkload(prefixes)
+	short := Config{ResetPeriod: 20} // exercise sample resets within Until
+	bank := NewMonitorBank(prefixes, short)
+
+	mons := make([]*Monitor, prefixes)
+	var wantFailures []BankFailure
+	for p := range mons {
+		mons[p] = NewMonitor(short)
+		p := p
+		mons[p].OnFailure(func(now float64) {
+			wantFailures = append(wantFailures, BankFailure{Prefix: p, Now: now})
+		})
+	}
+
+	var gotFailures []BankFailure
+	bank.OnFailure(func(prefix int, now float64) {
+		gotFailures = append(gotFailures, BankFailure{Prefix: prefix, Now: now})
+	})
+	var bankRetr, monRetr int
+	bank.OnRetrans(func(prefix int, ev RetransEvent) { bankRetr++ })
+	for _, m := range mons {
+		m.OnRetrans(func(ev RetransEvent) { monRetr++ })
+	}
+
+	sh := trace.NewPopShard(cfg, 0, prefixes)
+	n := 0
+	for {
+		ev, ok := sh.Next()
+		if !ok {
+			break
+		}
+		bank.Feed(ev.Prefix, ev.Time, ev.Pkt)
+		mons[ev.Prefix].Feed(ev.Time, ev.Pkt)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("workload produced no packets")
+	}
+
+	for p := 0; p < prefixes; p++ {
+		if got, want := bank.CellsAt(p), mons[p].Cells(); !reflect.DeepEqual(got, want) {
+			t.Errorf("prefix %d: bank cells diverge from scalar monitor", p)
+		}
+		bc, bm := bank.AuditWindowState(p)
+		sc, sm := mons[p].AuditWindowState()
+		if bc != sc || bm != sm {
+			t.Errorf("prefix %d: window counters (%d, %g) != scalar (%d, %g)", p, bc, bm, sc, sm)
+		}
+		want := mons[p].Failures()
+		if got := bank.FailureCount(p); got != len(want) {
+			t.Errorf("prefix %d: %d failures in bank, %d in scalar monitor", p, got, len(want))
+			continue
+		}
+		i := 0
+		for _, f := range bank.Failures() {
+			if f.Prefix != p {
+				continue
+			}
+			if f.Now != want[i] {
+				t.Errorf("prefix %d: failure %d at %g in bank, %g in scalar monitor", p, i, f.Now, want[i])
+			}
+			i++
+		}
+	}
+	if len(gotFailures) == 0 {
+		t.Fatal("workload inferred no failures; the storm regime is not being exercised")
+	}
+	if !reflect.DeepEqual(gotFailures, bank.Failures()) {
+		t.Error("OnFailure callbacks diverge from the recorded failure list")
+	}
+	if !reflect.DeepEqual(gotFailures, wantFailures) {
+		t.Error("bank failure callbacks diverge from the scalar monitors'")
+	}
+	if bankRetr == 0 || bankRetr != monRetr {
+		t.Errorf("bank saw %d retransmission events, scalar monitors %d", bankRetr, monRetr)
+	}
+}
+
+// TestMonitorBankRestart pins that a per-prefix Restart wipes exactly that
+// prefix: the restarted prefix matches a restarted scalar Monitor and its
+// neighbors are untouched.
+func TestMonitorBankRestart(t *testing.T) {
+	const prefixes = 4
+	cfg := popWorkload(prefixes)
+	bank := NewMonitorBank(prefixes, Config{})
+	mons := make([]*Monitor, prefixes)
+	for p := range mons {
+		mons[p] = NewMonitor(Config{})
+	}
+	sh := trace.NewPopShard(cfg, 0, prefixes)
+	last := 0.0
+	for i := 0; i < 5000; i++ {
+		ev, ok := sh.Next()
+		if !ok {
+			break
+		}
+		bank.Feed(ev.Prefix, ev.Time, ev.Pkt)
+		mons[ev.Prefix].Feed(ev.Time, ev.Pkt)
+		last = ev.Time
+	}
+	bank.Restart(1, last)
+	mons[1].Restart(last)
+	for p := 0; p < prefixes; p++ {
+		if !reflect.DeepEqual(bank.CellsAt(p), mons[p].Cells()) {
+			t.Errorf("prefix %d diverges after restarting prefix 1", p)
+		}
+	}
+	if got := bank.CountOccupied(1, nil); got != 0 {
+		t.Errorf("restarted prefix still has %d occupied cells", got)
+	}
+}
+
+// TestMonitorBankOccupiedTotal cross-checks the flat occupancy summary
+// against the per-prefix counts.
+func TestMonitorBankOccupiedTotal(t *testing.T) {
+	const prefixes = 8
+	cfg := popWorkload(prefixes)
+	bank := NewMonitorBank(prefixes, Config{})
+	sh := trace.NewPopShard(cfg, 0, prefixes)
+	for i := 0; i < 20000; i++ {
+		ev, ok := sh.Next()
+		if !ok {
+			break
+		}
+		bank.Feed(ev.Prefix, ev.Time, ev.Pkt)
+	}
+	sum := 0
+	for p := 0; p < prefixes; p++ {
+		sum += bank.CountOccupied(p, nil)
+	}
+	if sum == 0 {
+		t.Fatal("no cells occupied")
+	}
+	if got := bank.OccupiedTotal(); got != sum {
+		t.Errorf("OccupiedTotal = %d, per-prefix sum = %d", got, sum)
+	}
+}
+
+// TestMonitorBankSegmentsIsolated pins that one prefix's storm cannot leak
+// into a neighbor's segment: feeding only prefix 3 leaves every other
+// prefix's cells zero and window counters empty.
+func TestMonitorBankSegmentsIsolated(t *testing.T) {
+	const prefixes = 5
+	bank := NewMonitorBank(prefixes, Config{})
+	pkt := packet.NewTCP(packet.MustParseAddr("20.0.0.1"), packet.MustParseAddr("100.64.3.9"),
+		packet.TCPHeader{SrcPort: 1000, DstPort: 443, Seq: 7300, Flags: packet.FlagACK}, 1500)
+	for i := 0; i < 1000; i++ {
+		bank.Feed(3, float64(i)*0.001, pkt) // constant seq: retransmission storm
+	}
+	for p := 0; p < prefixes; p++ {
+		if p == 3 {
+			if bank.CountOccupied(p, nil) == 0 {
+				t.Error("fed prefix has no occupied cells")
+			}
+			continue
+		}
+		if got := bank.CountOccupied(p, nil); got != 0 {
+			t.Errorf("prefix %d has %d occupied cells without being fed", p, got)
+		}
+		if c, m := bank.AuditWindowState(p); c != 0 || !math.IsInf(m, 1) && m != 0 {
+			t.Errorf("prefix %d window counters moved: (%d, %g)", p, c, m)
+		}
+	}
+}

@@ -17,6 +17,13 @@
 // A host-level attacker keeps her flows always active so that, cell by
 // cell, the sample fills with malicious flows that are never evicted until
 // the reset (§3.1, Fig 2).
+//
+// Per-prefix state comes in two shapes sharing one algorithm: the scalar
+// *Monitor (one prefix, callback observers — the shape every single-prefix
+// experiment uses) and the PoP-scale *MonitorBank (tens of thousands of
+// prefixes in flat struct-of-arrays state, fed by dense prefix id). Both
+// drive the same unexported selCore, so their selector decisions are
+// bit-identical by construction (pinned by TestMonitorBankMatchesMonitors).
 package blink
 
 import (
@@ -105,13 +112,11 @@ type Eviction struct {
 	Reset bool
 }
 
-// Monitor is Blink's per-prefix data-plane state: the flow selector plus
-// failure inference. It is driven purely by packets (Feed); all timing is
-// derived from packet timestamps, as in the P4 implementation.
-type Monitor struct {
-	cfg   Config
-	cells []Cell
-
+// selState is the per-prefix scalar selector state beside the cells: the
+// sample-reset clock, the one-inference-per-epoch arming bit, and the
+// incremental failure-inference counters. A Monitor holds one; a
+// MonitorBank holds a flat array of them indexed by prefix id.
+type selState struct {
 	nextReset float64
 	armed     bool
 
@@ -124,6 +129,173 @@ type Monitor struct {
 	// exact without rescanning.
 	retrCount   int
 	minLastRetr float64
+}
+
+// selObserver receives the selector's residence and inference events. The
+// scalar Monitor dispatches them to its registered callback slices; the
+// MonitorBank tags them with the prefix id being fed. Observer methods run
+// only on events (sample/evict/retrans/failure), never on the plain
+// per-packet update path, so the indirection costs nothing warm.
+type selObserver interface {
+	sampled(now float64, key packet.FlowKey, cell int)
+	evicted(ev Eviction)
+	retrans(ev RetransEvent)
+	failed(now float64)
+}
+
+// selCore is a borrowed view of one prefix's selector — config, cell
+// segment, scalar state, observer — carrying the entire data-plane
+// algorithm. Monitor and MonitorBank construct one per Feed; the compiler
+// keeps it on the stack, so the sharing costs no allocation.
+type selCore struct {
+	cfg   *Config
+	cells []Cell
+	st    *selState
+	obs   selObserver
+}
+
+// feed processes one packet toward the monitored prefix. Non-TCP packets
+// are ignored (Blink monitors TCP only).
+func (s selCore) feed(now float64, p *packet.Packet) {
+	if p.TCP == nil {
+		return
+	}
+	s.maybeReset(now)
+	key := p.Flow()
+	idx := int(key.FastHash() % uint64(len(s.cells)))
+	c := &s.cells[idx]
+
+	switch {
+	case !c.Occupied:
+		s.sample(c, idx, key, now)
+	case c.Key == key:
+		s.update(c, idx, p, now)
+	default:
+		// Collision: evict only a finished or inactive occupant.
+		if c.Finished || now-c.LastSeen >= s.cfg.InactivityTimeout {
+			s.evict(c, idx, now, false)
+			s.sample(c, idx, key, now)
+			s.update(c, idx, p, now)
+		}
+	}
+}
+
+func (s selCore) sample(c *Cell, idx int, key packet.FlowKey, now float64) {
+	*c = Cell{Occupied: true, Key: key, SampledAt: now, LastSeen: now}
+	s.obs.sampled(now, key, idx)
+}
+
+func (s selCore) update(c *Cell, idx int, p *packet.Packet, now float64) {
+	gap := now - c.LastSeen
+	isData := p.Size > 40 // ignore pure ACKs for seq tracking
+	if isData && c.seqValid && p.TCP.Seq == c.LastSeq {
+		// Retransmission detected, as in Blink's P4 pipeline: the new
+		// packet repeats the last sequence number.
+		c.LastRetr = now
+		c.hasRetr = true
+		c.prevPktGap = gap
+		s.obs.retrans(RetransEvent{Now: now, Key: c.Key, Cell: idx, Gap: gap})
+		s.noteRetrans(c, now)
+	} else if isData {
+		c.LastSeq = p.TCP.Seq
+		c.seqValid = true
+	}
+	if p.TCP.Flags&(packet.FlagFIN|packet.FlagRST) != 0 {
+		c.Finished = true
+	}
+	c.LastSeen = now
+}
+
+// noteRetrans maintains the incremental in-window retransmission count for
+// the cell that just retransmitted (c.LastRetr == now) and fires failure
+// inference at the threshold. The count equals exactly what a full scan
+// (Occupied && hasRetr && now-LastRetr <= Window) would report: monitors
+// are fed in non-decreasing time order, so between recounts a counted
+// cell's window test cannot flip false while now-minLastRetr <= Window
+// (IEEE subtraction is monotone), and an uncounted cell's test cannot flip
+// true without the cell passing through noteRetrans.
+func (s selCore) noteRetrans(c *Cell, now float64) {
+	st := s.st
+	if st.retrCount > 0 && now-st.minLastRetr > s.cfg.Window {
+		s.recount(now)
+	}
+	if !c.counted {
+		c.counted = true
+		st.retrCount++
+		if st.retrCount == 1 || now < st.minLastRetr {
+			st.minLastRetr = now
+		}
+	}
+	if st.armed && st.retrCount >= s.cfg.Threshold {
+		st.armed = false // one inference per sample epoch
+		s.obs.failed(now)
+	}
+}
+
+// recount rebuilds the incremental count by scanning all cells — the slow
+// path, taken only when the earliest counted retransmission may have left
+// the window, not on every retransmission of a storm.
+func (s selCore) recount(now float64) {
+	st := s.st
+	st.retrCount = 0
+	st.minLastRetr = math.Inf(1)
+	for i := range s.cells {
+		c := &s.cells[i]
+		if c.Occupied && c.hasRetr && now-c.LastRetr <= s.cfg.Window {
+			c.counted = true
+			st.retrCount++
+			if c.LastRetr < st.minLastRetr {
+				st.minLastRetr = c.LastRetr
+			}
+		} else {
+			c.counted = false
+		}
+	}
+}
+
+func (s selCore) evict(c *Cell, idx int, now float64, reset bool) {
+	if c.Occupied {
+		s.obs.evicted(Eviction{Now: now, Key: c.Key, Cell: idx, Residence: now - c.SampledAt, Reset: reset})
+	}
+	if c.counted {
+		s.st.retrCount--
+	}
+	*c = Cell{}
+}
+
+// restart models a router crash and power-cycle: every occupied cell is
+// evicted (reported to the observer with Reset=true — residences ended by
+// state loss, not by the sampling rules), failure inference re-arms, and
+// the sample-reset clock restarts at now.
+func (s selCore) restart(now float64) {
+	for i := range s.cells {
+		s.evict(&s.cells[i], i, now, true)
+	}
+	s.st.retrCount = 0
+	s.st.minLastRetr = 0
+	s.st.armed = true
+	s.st.nextReset = now + s.cfg.ResetPeriod
+}
+
+// maybeReset clears the sample when the reset period elapses (checked on
+// packet arrival, as a data plane would with a timestamp comparison).
+func (s selCore) maybeReset(now float64) {
+	for now >= s.st.nextReset {
+		for i := range s.cells {
+			s.evict(&s.cells[i], i, s.st.nextReset, true)
+		}
+		s.st.nextReset += s.cfg.ResetPeriod
+		s.st.armed = true
+	}
+}
+
+// Monitor is Blink's per-prefix data-plane state: the flow selector plus
+// failure inference. It is driven purely by packets (Feed); all timing is
+// derived from packet timestamps, as in the P4 implementation.
+type Monitor struct {
+	cfg   Config
+	cells []Cell
+	st    selState
 
 	onFailure []func(now float64)
 	onRetrans []func(RetransEvent)
@@ -137,11 +309,15 @@ type Monitor struct {
 func NewMonitor(cfg Config) *Monitor {
 	cfg = cfg.Defaults()
 	return &Monitor{
-		cfg:       cfg,
-		cells:     make([]Cell, cfg.Cells),
-		nextReset: cfg.ResetPeriod,
-		armed:     true,
+		cfg:   cfg,
+		cells: make([]Cell, cfg.Cells),
+		st:    selState{nextReset: cfg.ResetPeriod, armed: true},
 	}
+}
+
+// core returns the selector view the shared algorithm operates on.
+func (m *Monitor) core() selCore {
+	return selCore{cfg: &m.cfg, cells: m.cells, st: &m.st, obs: m}
 }
 
 // Config returns the effective configuration.
@@ -166,12 +342,42 @@ func (m *Monitor) OnSample(f func(now float64, key packet.FlowKey, cell int)) {
 	m.onSample = append(m.onSample, f)
 }
 
+// sampled implements selObserver by dispatching to the OnSample callbacks.
+func (m *Monitor) sampled(now float64, key packet.FlowKey, cell int) {
+	for _, f := range m.onSample {
+		f(now, key, cell)
+	}
+}
+
+// evicted implements selObserver by dispatching to the OnEvict callbacks.
+func (m *Monitor) evicted(ev Eviction) {
+	for _, f := range m.onEvict {
+		f(ev)
+	}
+}
+
+// retrans implements selObserver by dispatching to the OnRetrans callbacks.
+func (m *Monitor) retrans(ev RetransEvent) {
+	for _, f := range m.onRetrans {
+		f(ev)
+	}
+}
+
+// failed implements selObserver: the inferred failure is recorded and then
+// dispatched to the OnFailure callbacks.
+func (m *Monitor) failed(now float64) {
+	m.failures = append(m.failures, now)
+	for _, f := range m.onFailure {
+		f(now)
+	}
+}
+
 // AuditWindowState exposes the incremental failure-inference counters for
 // the invariant checker (internal/audit): the number of cells currently
 // counted as retransmitting in-window, and the conservative lower bound on
 // their earliest LastRetr.
 func (m *Monitor) AuditWindowState() (retrCount int, minLastRetr float64) {
-	return m.retrCount, m.minLastRetr
+	return m.st.retrCount, m.st.minLastRetr
 }
 
 // Counted reports whether the cell is included in the monitor's
@@ -196,9 +402,15 @@ func (m *Monitor) Cells() []Cell {
 // occupied cells). The Fig 2 experiment counts cells occupied by malicious
 // flows.
 func (m *Monitor) CountOccupied(pred func(packet.FlowKey) bool) int {
+	return countOccupied(m.cells, pred)
+}
+
+// countOccupied is the shared occupancy scan behind Monitor.CountOccupied
+// and MonitorBank.CountOccupied.
+func countOccupied(cells []Cell, pred func(packet.FlowKey) bool) int {
 	n := 0
-	for i := range m.cells {
-		c := &m.cells[i]
+	for i := range cells {
+		c := &cells[i]
 		if c.Occupied && (pred == nil || pred(c.Key)) {
 			n++
 		}
@@ -209,117 +421,7 @@ func (m *Monitor) CountOccupied(pred func(packet.FlowKey) bool) int {
 // Feed processes one packet toward the monitored prefix. Non-TCP packets
 // are ignored (Blink monitors TCP only).
 func (m *Monitor) Feed(now float64, p *packet.Packet) {
-	if p.TCP == nil {
-		return
-	}
-	m.maybeReset(now)
-	key := p.Flow()
-	idx := int(key.FastHash() % uint64(len(m.cells)))
-	c := &m.cells[idx]
-
-	switch {
-	case !c.Occupied:
-		m.sample(c, idx, key, now)
-	case c.Key == key:
-		m.update(c, idx, p, now)
-	default:
-		// Collision: evict only a finished or inactive occupant.
-		if c.Finished || now-c.LastSeen >= m.cfg.InactivityTimeout {
-			m.evict(c, idx, now, false)
-			m.sample(c, idx, key, now)
-			m.update(c, idx, p, now)
-		}
-	}
-}
-
-func (m *Monitor) sample(c *Cell, idx int, key packet.FlowKey, now float64) {
-	*c = Cell{Occupied: true, Key: key, SampledAt: now, LastSeen: now}
-	for _, f := range m.onSample {
-		f(now, key, idx)
-	}
-}
-
-func (m *Monitor) update(c *Cell, idx int, p *packet.Packet, now float64) {
-	gap := now - c.LastSeen
-	isData := p.Size > 40 // ignore pure ACKs for seq tracking
-	if isData && c.seqValid && p.TCP.Seq == c.LastSeq {
-		// Retransmission detected, as in Blink's P4 pipeline: the new
-		// packet repeats the last sequence number.
-		c.LastRetr = now
-		c.hasRetr = true
-		c.prevPktGap = gap
-		for _, f := range m.onRetrans {
-			f(RetransEvent{Now: now, Key: c.Key, Cell: idx, Gap: gap})
-		}
-		m.noteRetrans(c, now)
-	} else if isData {
-		c.LastSeq = p.TCP.Seq
-		c.seqValid = true
-	}
-	if p.TCP.Flags&(packet.FlagFIN|packet.FlagRST) != 0 {
-		c.Finished = true
-	}
-	c.LastSeen = now
-}
-
-// noteRetrans maintains the incremental in-window retransmission count for
-// the cell that just retransmitted (c.LastRetr == now) and fires failure
-// inference at the threshold. The count equals exactly what a full scan
-// (Occupied && hasRetr && now-LastRetr <= Window) would report: monitors
-// are fed in non-decreasing time order, so between recounts a counted
-// cell's window test cannot flip false while now-minLastRetr <= Window
-// (IEEE subtraction is monotone), and an uncounted cell's test cannot flip
-// true without the cell passing through noteRetrans.
-func (m *Monitor) noteRetrans(c *Cell, now float64) {
-	if m.retrCount > 0 && now-m.minLastRetr > m.cfg.Window {
-		m.recount(now)
-	}
-	if !c.counted {
-		c.counted = true
-		m.retrCount++
-		if m.retrCount == 1 || now < m.minLastRetr {
-			m.minLastRetr = now
-		}
-	}
-	if m.armed && m.retrCount >= m.cfg.Threshold {
-		m.armed = false // one inference per sample epoch
-		m.failures = append(m.failures, now)
-		for _, f := range m.onFailure {
-			f(now)
-		}
-	}
-}
-
-// recount rebuilds the incremental count by scanning all cells — the slow
-// path, taken only when the earliest counted retransmission may have left
-// the window, not on every retransmission of a storm.
-func (m *Monitor) recount(now float64) {
-	m.retrCount = 0
-	m.minLastRetr = math.Inf(1)
-	for i := range m.cells {
-		c := &m.cells[i]
-		if c.Occupied && c.hasRetr && now-c.LastRetr <= m.cfg.Window {
-			c.counted = true
-			m.retrCount++
-			if c.LastRetr < m.minLastRetr {
-				m.minLastRetr = c.LastRetr
-			}
-		} else {
-			c.counted = false
-		}
-	}
-}
-
-func (m *Monitor) evict(c *Cell, idx int, now float64, reset bool) {
-	if c.Occupied {
-		for _, f := range m.onEvict {
-			f(Eviction{Now: now, Key: c.Key, Cell: idx, Residence: now - c.SampledAt, Reset: reset})
-		}
-	}
-	if c.counted {
-		m.retrCount--
-	}
-	*c = Cell{}
+	m.core().feed(now, p)
 }
 
 // Restart models a router crash and power-cycle: every occupied cell is
@@ -328,23 +430,5 @@ func (m *Monitor) evict(c *Cell, idx int, now float64, reset bool) {
 // sample-reset clock restarts at now. Registered callbacks survive — they
 // model the control plane and the auditors, not router RAM.
 func (m *Monitor) Restart(now float64) {
-	for i := range m.cells {
-		m.evict(&m.cells[i], i, now, true)
-	}
-	m.retrCount = 0
-	m.minLastRetr = 0
-	m.armed = true
-	m.nextReset = now + m.cfg.ResetPeriod
-}
-
-// maybeReset clears the sample when the reset period elapses (checked on
-// packet arrival, as a data plane would with a timestamp comparison).
-func (m *Monitor) maybeReset(now float64) {
-	for now >= m.nextReset {
-		for i := range m.cells {
-			m.evict(&m.cells[i], i, m.nextReset, true)
-		}
-		m.nextReset += m.cfg.ResetPeriod
-		m.armed = true
-	}
+	m.core().restart(now)
 }

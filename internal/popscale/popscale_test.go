@@ -1,0 +1,147 @@
+package popscale
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{
+		Prefixes: 48, FlowsPerPrefix: 16,
+		Duration: 15, PPS: 3, MeanFlowDuration: 3,
+		AttackedEvery: 4, AttackFlows: 40, StormAt: 7,
+		Seed: 11,
+	}
+}
+
+// TestRunShardAndWorkerIndependence is the PR's determinism acceptance
+// criterion at unit scale: every deterministic Result field — state hash,
+// packet count, failures, occupancy — is identical whether the prefix
+// space runs as one shard on one worker or as many unevenly-sized shards
+// on several workers, with the audit cross-check on throughout.
+func TestRunShardAndWorkerIndependence(t *testing.T) {
+	base := testConfig()
+	base.AuditEvery = 8
+
+	ref := base
+	ref.Shards, ref.Parallel = 1, 1
+	want, err := Run(context.Background(), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Packets == 0 || len(want.Failures) == 0 {
+		t.Fatalf("reference run is degenerate: %d packets, %d failures", want.Packets, len(want.Failures))
+	}
+	if want.AuditedPrefixes != 6 {
+		t.Fatalf("reference run audited %d prefixes, want 6", want.AuditedPrefixes)
+	}
+
+	for _, tc := range []struct{ shards, parallel int }{{7, 1}, {48, 4}, {5, 3}} {
+		cfg := base
+		cfg.Shards, cfg.Parallel = tc.shards, tc.parallel
+		got, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("shards=%d parallel=%d: %v", tc.shards, tc.parallel, err)
+		}
+		if got.StateHash != want.StateHash {
+			t.Errorf("shards=%d parallel=%d: state hash %016x != reference %016x",
+				tc.shards, tc.parallel, got.StateHash, want.StateHash)
+		}
+		if got.Packets != want.Packets {
+			t.Errorf("shards=%d parallel=%d: %d packets != reference %d",
+				tc.shards, tc.parallel, got.Packets, want.Packets)
+		}
+		if got.OccupiedCells != want.OccupiedCells {
+			t.Errorf("shards=%d parallel=%d: %d occupied cells != reference %d",
+				tc.shards, tc.parallel, got.OccupiedCells, want.OccupiedCells)
+		}
+		if !reflect.DeepEqual(got.Failures, want.Failures) {
+			t.Errorf("shards=%d parallel=%d: failure list diverges from reference",
+				tc.shards, tc.parallel)
+		}
+		if got.AuditedPrefixes != want.AuditedPrefixes {
+			t.Errorf("shards=%d parallel=%d: audited %d prefixes, reference %d",
+				tc.shards, tc.parallel, got.AuditedPrefixes, want.AuditedPrefixes)
+		}
+	}
+}
+
+// TestRunSeedSensitivity pins that the state hash actually fingerprints
+// the run: a different seed must produce a different hash (the smoke
+// gate's cmp would otherwise pass vacuously).
+func TestRunSeedSensitivity(t *testing.T) {
+	a := testConfig()
+	b := testConfig()
+	b.Seed = 12
+	ra, err := Run(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.StateHash == rb.StateHash {
+		t.Fatalf("seeds 11 and 12 share state hash %016x", ra.StateHash)
+	}
+}
+
+// TestRunFailureOrdering pins the merged failure list's contract: sorted
+// by prefix, chronological within a prefix, counts consistent with
+// PrefixesWithFailure, and only attacked prefixes fail (the storm is the
+// sole failure mechanism in this workload).
+func TestRunFailureOrdering(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 6
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("no failures inferred")
+	}
+	distinct := 0
+	last := -1
+	for i, f := range res.Failures {
+		if f.Prefix < last {
+			t.Fatalf("failure %d: prefix %d after %d", i, f.Prefix, last)
+		}
+		if f.Prefix != last {
+			distinct++
+			last = f.Prefix
+		} else if f.Now < res.Failures[i-1].Now {
+			t.Fatalf("prefix %d: failure times out of order (%g after %g)", f.Prefix, f.Now, res.Failures[i-1].Now)
+		}
+		if f.Prefix%cfg.AttackedEvery != 0 {
+			t.Fatalf("unattacked prefix %d inferred a failure at %g", f.Prefix, f.Now)
+		}
+		if f.Now < cfg.StormAt {
+			t.Fatalf("prefix %d inferred a failure at %g, before the storm at %g", f.Prefix, f.Now, cfg.StormAt)
+		}
+	}
+	if distinct != res.PrefixesWithFailure {
+		t.Fatalf("PrefixesWithFailure = %d, distinct prefixes in list = %d", res.PrefixesWithFailure, distinct)
+	}
+	if res.AttackedPrefixes != 12 {
+		t.Fatalf("AttackedPrefixes = %d, want 12", res.AttackedPrefixes)
+	}
+}
+
+// TestActiveFlows pins the headline denominator against the config.
+func TestActiveFlows(t *testing.T) {
+	cfg := testConfig().Defaults()
+	if got, want := cfg.ActiveFlows(), 48*16+12*40; got != want {
+		t.Fatalf("ActiveFlows = %d, want %d", got, want)
+	}
+}
+
+// TestRunCancellation pins that a cancelled context aborts the run with
+// the context's error instead of a partial result.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, testConfig()); err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+}

@@ -1,0 +1,140 @@
+package prof
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+var memstats = flag.Bool("memstats", false,
+	"sample runtime.MemStats while running and print a peak-memory summary to stderr at exit")
+
+// MemSummary is a peak-memory report: the high-water marks observed by a
+// MemSampler plus the OS-reported peak RSS. PeakRSSBytes is 0 when the
+// platform does not expose it (non-Linux, no /proc).
+type MemSummary struct {
+	// PeakHeapBytes is the max of runtime.MemStats.HeapAlloc across samples
+	// (live heap; what the Go allocator had in use).
+	PeakHeapBytes uint64
+	// PeakSysBytes is the max of runtime.MemStats.Sys (address space the
+	// runtime obtained from the OS).
+	PeakSysBytes uint64
+	// PeakRSSBytes is the kernel's VmHWM — the process's peak resident set,
+	// the "<2 GB at 1M flows" headline number.
+	PeakRSSBytes uint64
+	// NumGC is the collection count over the sampled interval.
+	NumGC uint32
+	// Samples is how many MemStats polls contributed.
+	Samples int
+}
+
+func (s MemSummary) String() string {
+	return fmt.Sprintf("peak heap %.1f MiB, peak sys %.1f MiB, peak RSS %.1f MiB, %d GCs, %d samples",
+		float64(s.PeakHeapBytes)/(1<<20), float64(s.PeakSysBytes)/(1<<20),
+		float64(s.PeakRSSBytes)/(1<<20), s.NumGC, s.Samples)
+}
+
+// MemSampler polls runtime.MemStats on a background goroutine and keeps
+// the high-water marks. One final sample is taken at Stop, so even a run
+// shorter than the poll interval reports real numbers.
+type MemSampler struct {
+	interval time.Duration
+	mu       sync.Mutex
+	sum      MemSummary
+	startGC  uint32
+	done     chan struct{}
+	stopped  sync.Once
+}
+
+// NewMemSampler starts sampling every interval (<= 0 means 50ms).
+func NewMemSampler(interval time.Duration) *MemSampler {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	s := &MemSampler{interval: interval, done: make(chan struct{})}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.startGC = ms.NumGC
+	go s.loop()
+	return s
+}
+
+func (s *MemSampler) loop() {
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+func (s *MemSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sum.Samples++
+	s.sum.PeakHeapBytes = max(s.sum.PeakHeapBytes, ms.HeapAlloc)
+	s.sum.PeakSysBytes = max(s.sum.PeakSysBytes, ms.Sys)
+	s.sum.NumGC = ms.NumGC - s.startGC
+}
+
+// Stop ends sampling (idempotent) and returns the summary, folding in one
+// final MemStats read and the OS peak RSS.
+func (s *MemSampler) Stop() MemSummary {
+	s.stopped.Do(func() { close(s.done) })
+	s.sample()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rss, ok := PeakRSS(); ok {
+		s.sum.PeakRSSBytes = rss
+	}
+	return s.sum
+}
+
+// PeakRSS returns the process's peak resident set size in bytes from the
+// kernel's VmHWM accounting (Linux /proc). ok=false when unavailable.
+func PeakRSS() (bytes uint64, ok bool) {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		// "VmHWM:    123456 kB"
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb << 10, true
+	}
+	return 0, false
+}
+
+// startMem is the -memstats half of Start: nil sampler when the flag is
+// off, else a running sampler whose summary the stop function prints.
+func startMem() *MemSampler {
+	if !*memstats {
+		return nil
+	}
+	return NewMemSampler(0)
+}

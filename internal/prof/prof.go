@@ -1,6 +1,6 @@
-// Package prof gives the experiment drivers shared -cpuprofile and
-// -memprofile flags, so future performance work starts from a profile
-// instead of a guess:
+// Package prof gives the experiment drivers shared -cpuprofile,
+// -memprofile, and -memstats flags, so future performance work starts
+// from a profile instead of a guess:
 //
 //	go run ./cmd/blink-fig2 -cpuprofile fig2.cpu.pprof -memprofile fig2.mem.pprof
 //	go tool pprof fig2.cpu.pprof
@@ -23,9 +23,12 @@ var (
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 )
 
-// Start begins CPU profiling if -cpuprofile was given and returns the stop
-// function that finalizes both profiles. flag.Parse must have run.
+// Start begins CPU profiling if -cpuprofile was given and memory
+// sampling if -memstats was given, and returns the stop function that
+// finalizes the profiles and prints the peak-memory summary to stderr.
+// flag.Parse must have run.
 func Start() (stop func()) {
+	mem := startMem()
 	var cpu *os.File
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -38,6 +41,9 @@ func Start() (stop func()) {
 		cpu = f
 	}
 	return func() {
+		if mem != nil {
+			fmt.Fprintln(os.Stderr, "memstats:", mem.Stop())
+		}
 		if cpu != nil {
 			pprof.StopCPUProfile()
 			cpu.Close()

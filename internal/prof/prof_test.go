@@ -1,0 +1,59 @@
+package prof
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestPeakRSS pins the /proc/self/status VmHWM reader on Linux: a running
+// process must report a nonzero peak resident set at least as large as a
+// page.
+func TestPeakRSS(t *testing.T) {
+	rss, ok := PeakRSS()
+	if runtime.GOOS != "linux" {
+		t.Skipf("no /proc on %s", runtime.GOOS)
+	}
+	if !ok {
+		t.Fatal("PeakRSS unavailable on linux")
+	}
+	if rss < 4096 {
+		t.Fatalf("peak RSS %d bytes is below one page", rss)
+	}
+}
+
+// TestMemSampler pins the sampler's contract: Stop folds in a final
+// sample (so even an instant run reports data), the peaks are nonzero,
+// an allocation burst raises the observed peak heap, and Stop is
+// idempotent.
+func TestMemSampler(t *testing.T) {
+	s := NewMemSampler(time.Millisecond)
+	// Allocate ~32 MiB in visible chunks so a poll or the final sample
+	// sees the burst.
+	hold := make([][]byte, 32)
+	for i := range hold {
+		hold[i] = make([]byte, 1<<20)
+		hold[i][0] = byte(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	sum := s.Stop()
+	if sum.Samples < 1 {
+		t.Fatalf("sampler took %d samples, want >= 1", sum.Samples)
+	}
+	if sum.PeakHeapBytes < 16<<20 {
+		t.Fatalf("peak heap %d bytes did not observe a 32 MiB live burst", sum.PeakHeapBytes)
+	}
+	if sum.PeakSysBytes < sum.PeakHeapBytes {
+		t.Fatalf("peak sys %d < peak heap %d", sum.PeakSysBytes, sum.PeakHeapBytes)
+	}
+	if runtime.GOOS == "linux" && sum.PeakRSSBytes == 0 {
+		t.Fatal("summary has no peak RSS on linux")
+	}
+	if again := s.Stop(); again.Samples < sum.Samples {
+		t.Fatal("second Stop lost samples")
+	}
+	runtime.KeepAlive(hold)
+	if sum.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
