@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race audit bench bench-smoke bench-gate pop-smoke fuzz-smoke chaos-smoke report
+.PHONY: check vet build test race audit bench bench-smoke bench-gate pop-smoke fuzz-smoke chaos-smoke advsearch-smoke report
 
 ## check: the full gate — vet, build, race-enabled tests.
 check: vet build race
@@ -34,12 +34,13 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench=Substrate -benchtime=100x -benchmem .
 
 ## bench-gate: run the engine benchmarks and compare events/sec against the
-## checked-in floors in BENCH_FLOOR.json (warn-only by default; CI uses
-## this as a regression smoke, not a hard gate — shared runners are noisy).
+## checked-in floors in BENCH_FLOOR.json. Perf floors are warn-only (shared
+## runners are noisy), but the 0 allocs/op ceilings are scheduling-independent
+## and hard-fail via -strict-allocs.
 bench-gate:
 	$(GO) test -run '^$$' -bench='Engine|PopScale' -benchmem -count=1 -timeout 20m . \
 		| $(GO) run ./cmd/benchjson -o BENCH_GATE.json
-	$(GO) run ./cmd/benchgate -floor BENCH_FLOOR.json BENCH_GATE.json
+	$(GO) run ./cmd/benchgate -floor BENCH_FLOOR.json -strict-allocs BENCH_GATE.json
 
 ## pop-smoke: the PoP-scale determinism gate — a 512-prefix / ~34k-flow
 ## blink-pop run with the bank-vs-scalar audit on every 8th prefix, executed
@@ -65,6 +66,17 @@ fuzz-smoke:
 chaos-smoke:
 	$(GO) run -race ./cmd/chaos-eval -quick
 	$(GO) run -race ./cmd/simfuzz -seeds 100 -faults -shrink
+
+## advsearch-smoke: the adversary-synthesis determinism gate — a quick
+## Blink attack-frontier search (guarded vs unguarded, CEM) run once on one
+## worker and once on four; the JSON on stdout must be byte-identical (cmp)
+## or the target fails.
+advsearch-smoke:
+	$(GO) build -o /tmp/advsearch ./cmd/advsearch
+	/tmp/advsearch -quick -system blink -parallel 1 2>/dev/null > /tmp/advsearch-a.json
+	/tmp/advsearch -quick -system blink -parallel 4 2>/dev/null > /tmp/advsearch-b.json
+	cmp /tmp/advsearch-a.json /tmp/advsearch-b.json
+	@echo "advsearch-smoke: worker-count independent frontier verified"
 
 ## report: regenerate the full reproduction report on all cores.
 report:

@@ -7,14 +7,19 @@
 //
 // Usage:
 //
-//	benchgate [-floor BENCH_FLOOR.json] [-strict] BENCH.json
+//	benchgate [-floor BENCH_FLOOR.json] [-strict] [-strict-allocs] BENCH.json
 //
 // By default violations are printed as warnings and the exit status is 0
 // — shared CI runners are too noisy for wall-clock numbers to be a hard
 // gate, so the job surfaces regressions without blocking merges. With
-// -strict any violation exits 1. Exit status 2 on usage or read errors,
-// including a floor entry whose benchmark or metric is missing from the
-// measurement file (a silently-skipped check would read as a pass).
+// -strict any violation exits 1. With -strict-allocs only the allocs/op
+// ceilings become hard failures: allocation counts are scheduling-
+// independent (unlike wall-clock throughput), so "an allocation
+// reappeared on the steady-state path" gates reliably even on noisy
+// shared runners while the perf floors stay warn-only. Exit status 2 on
+// usage or read errors, including a floor entry whose benchmark or metric
+// is missing from the measurement file (a silently-skipped check would
+// read as a pass).
 //
 // The floors are deliberately conservative relative to the numbers in
 // BENCH_4.json: they are meant to catch "the optimization fell off" (a
@@ -76,8 +81,9 @@ type FloorFile struct {
 func main() {
 	floorPath := flag.String("floor", "BENCH_FLOOR.json", "floor file to compare against")
 	strict := flag.Bool("strict", false, "exit 1 on any violation instead of warning")
+	strictAllocs := flag.Bool("strict-allocs", false, "exit 1 on allocs/op ceiling violations (deterministic metric); perf floors stay warnings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchgate [-floor BENCH_FLOOR.json] [-strict] BENCH.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchgate [-floor BENCH_FLOOR.json] [-strict] [-strict-allocs] BENCH.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -107,7 +113,7 @@ func main() {
 		return v
 	}
 
-	violations := 0
+	violations, hard := 0, 0
 	warn := func(format string, args ...any) {
 		violations++
 		fmt.Printf("benchgate: FAIL: "+format+"\n", args...)
@@ -120,6 +126,9 @@ func main() {
 			warn("%s %s = %g, below floor %g%s", f.Bench, f.Metric, v, *f.Min, why(f.Why))
 		case f.Max != nil && v > *f.Max:
 			warn("%s %s = %g, above ceiling %g%s", f.Bench, f.Metric, v, *f.Max, why(f.Why))
+			if *strictAllocs && f.Metric == "allocs/op" {
+				hard++
+			}
 		default:
 			fmt.Printf("benchgate: ok: %s %s = %g\n", f.Bench, f.Metric, v)
 		}
@@ -140,6 +149,10 @@ func main() {
 	if violations > 0 {
 		fmt.Printf("benchgate: %d floor violation(s) — see FAIL lines above\n", violations)
 		if *strict {
+			os.Exit(1)
+		}
+		if hard > 0 {
+			fmt.Printf("benchgate: %d allocs/op ceiling violation(s) are hard failures under -strict-allocs\n", hard)
 			os.Exit(1)
 		}
 		fmt.Println("benchgate: warn-only mode, exiting 0 (rerun with -strict to gate)")

@@ -1,0 +1,126 @@
+package advsearch
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"dui/internal/runner"
+	"dui/internal/stats"
+)
+
+// FrontierPoint is one point of the attack-frontier curve: the validated
+// success rate purchasable at a given attacker cost.
+type FrontierPoint struct {
+	Cost        float64            `json:"cost"`
+	SuccessRate float64            `json:"success_rate"`
+	Knobs       map[string]float64 `json:"knobs"`
+}
+
+// maxFrontierCandidates bounds how many distinct flipping candidates are
+// re-validated — the cheapest ones, which are the points the frontier is
+// about.
+const maxFrontierCandidates = 8
+
+// Frontier distills a search result into the attack-frontier curve. The
+// flipping candidates are deduplicated on their realized knob vectors,
+// the cheapest maxFrontierCandidates re-evaluated `validations` times
+// each at fresh seeds from the axValidate branch of the search's seed
+// tree (a candidate that flipped only by luck of its evaluation seed
+// earns a fractional success rate, not a frontier point at full credit),
+// and the surviving points are Pareto-pruned so success rate is strictly
+// increasing with cost. An empty slice means the search found no input
+// that validates at all.
+func Frontier(t Target, res *Result, validations, workers int) []FrontierPoint {
+	if res == nil || len(res.Flipped) == 0 {
+		return nil
+	}
+	if validations <= 0 {
+		validations = 5
+	}
+	space := t.Space()
+
+	// Dedupe on the realized vector (candidates are already in
+	// deterministic (gen, member) order), then keep the cheapest few.
+	seen := map[string]bool{}
+	var cands []Candidate
+	for _, c := range res.Flipped {
+		key := fmt.Sprintf("%v", c.X)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cands = append(cands, c)
+	}
+	sortCandidates(cands)
+	if len(cands) > maxFrontierCandidates {
+		cands = cands[:maxFrontierCandidates]
+	}
+
+	// Validate all replications of all candidates in one deterministic
+	// fan-out: job j is (candidate j/validations, replication
+	// j%validations), results land in job order.
+	type job struct{ cand, rep int }
+	jobs := make([]job, 0, len(cands)*validations)
+	for ci := range cands {
+		for r := 0; r < validations; r++ {
+			jobs = append(jobs, job{ci, r})
+		}
+	}
+	outs, _ := runner.Map(context.Background(), jobs, 0,
+		runner.Config{Workers: workers},
+		func(_ context.Context, _ runner.Trial, j job) (Outcome, error) {
+			seed := stats.PathSeed(res.Config.Seed, axValidate, uint64(j.cand), uint64(j.rep))
+			return t.Evaluate(cands[j.cand].X, seed), nil
+		})
+
+	var points []FrontierPoint
+	for ci, c := range cands {
+		flips := 0
+		costSum := 0.0
+		for r := 0; r < validations; r++ {
+			o := outs[ci*validations+r]
+			if o.Flipped {
+				flips++
+				costSum += o.Cost
+			}
+		}
+		if flips == 0 {
+			continue
+		}
+		knobs := make(map[string]float64, len(space))
+		for d, k := range space {
+			knobs[k.Name] = c.X[d]
+		}
+		points = append(points, FrontierPoint{
+			Cost:        costSum / float64(flips),
+			SuccessRate: float64(flips) / float64(validations),
+			Knobs:       knobs,
+		})
+	}
+
+	// Pareto prune: sort by cost (ties by higher success first, then by
+	// candidate order, which the stable construction above preserves) and
+	// keep points that strictly improve the success rate.
+	for i := 1; i < len(points); i++ {
+		for j := i; j > 0 && lessPoint(points[j], points[j-1]); j-- {
+			points[j], points[j-1] = points[j-1], points[j]
+		}
+	}
+	var frontier []FrontierPoint
+	bestRate := math.Inf(-1)
+	for _, p := range points {
+		if p.SuccessRate > bestRate {
+			frontier = append(frontier, p)
+			bestRate = p.SuccessRate
+		}
+	}
+	return frontier
+}
+
+func lessPoint(a, b FrontierPoint) bool {
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	return a.SuccessRate > b.SuccessRate
+}

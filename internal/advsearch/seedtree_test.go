@@ -1,0 +1,67 @@
+package advsearch
+
+import (
+	"fmt"
+	"testing"
+
+	"dui/internal/runner"
+	"dui/internal/stats"
+)
+
+// TestSeedAxesNeverAlias is the cross-package alias audit the stats
+// ChildAt documentation points at: every seed-derivation family in the
+// repository — the scenario package's flat index ranges (workloads
+// 1000+i, taps 2000+i, gray 3000+i, flaps 4000+i), plain flat children,
+// the runner's sequential SplitMix64 trial chain, and advsearch's tagged
+// (purpose, generation, member) paths — must produce pairwise distinct
+// streams from one shared root seed. A collision would mean two
+// logically independent consumers draw correlated randomness, silently
+// breaking the determinism contract's independence half.
+func TestSeedAxesNeverAlias(t *testing.T) {
+	const root = 0x5eed
+	type stream struct {
+		name string
+		rng  *stats.RNG
+	}
+	var streams []stream
+	add := func(name string, r *stats.RNG) {
+		streams = append(streams, stream{name, r})
+	}
+
+	// scenario's flat axis ranges over its scenario seed.
+	for _, base := range []uint64{0, 1000, 2000, 3000, 4000} {
+		for i := uint64(0); i < 16; i++ {
+			add(fmt.Sprintf("flat+%d[%d]", base, i), stats.ChildAt(root, base+i))
+		}
+	}
+	// runner trial seeds: a *different* derivation (sequential SplitMix64
+	// chain), used as RNG roots by trial functions.
+	for i, s := range runner.Seeds(root, 32) {
+		add(fmt.Sprintf("runner[%d]", i), stats.NewRNG(s))
+	}
+	// advsearch's tagged paths: (tag, gen, member) for every axis tag,
+	// plus the eval/validate PathSeed values used as scenario seeds.
+	for _, tag := range []uint64{axSample, axEval, axAccept, axValidate} {
+		for g := uint64(0); g < 3; g++ {
+			for m := uint64(0); m < 6; m++ {
+				add(fmt.Sprintf("tag%#x(%d,%d)", tag, g, m), stats.ChildPath(root, tag, g, m))
+				add(fmt.Sprintf("tag%#x(%d,%d)seed", tag, g, m),
+					stats.NewRNG(stats.PathSeed(root, tag, g, m)))
+			}
+		}
+	}
+	// The root stream itself.
+	add("root", stats.NewRNG(root))
+
+	seen := map[[2]uint64]string{}
+	for _, s := range streams {
+		fp := [2]uint64{s.rng.Uint64(), s.rng.Uint64()}
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("stream %s aliases %s (fingerprint %x)", s.name, prev, fp)
+		}
+		seen[fp] = s.name
+	}
+	if len(seen) != len(streams) {
+		t.Fatalf("%d streams produced %d distinct fingerprints", len(streams), len(seen))
+	}
+}

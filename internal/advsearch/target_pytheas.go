@@ -1,0 +1,110 @@
+package advsearch
+
+import (
+	"dui/internal/pytheas"
+)
+
+// PytheasTarget searches for the cheapest report-poisoning botnet that
+// flips a Pytheas group's choice (§4.1): the group starts on the good
+// option, and Flipped means the honest majority ends up steered onto the
+// bad one. Cost is the attacker's report volume — bots × report
+// multiplier — the quantity authentication and rate limiting would meter.
+//
+// The guarded deployment is the §5 input-quality stack: deduplicated
+// reports (one per session per epoch) and MAD-filtered aggregation.
+type PytheasTarget struct {
+	Guarded bool
+	// Sessions and Epochs size the simulated group (0 = 300 × 120).
+	Sessions int
+	Epochs   int
+}
+
+// NewPytheasTarget builds the target with the default group size.
+func NewPytheasTarget(guarded bool) *PytheasTarget {
+	return &PytheasTarget{Guarded: guarded}
+}
+
+func (t *PytheasTarget) init() {
+	if t.Sessions <= 0 {
+		t.Sessions = 300
+	}
+	if t.Epochs <= 0 {
+		t.Epochs = 120
+	}
+}
+
+// Name implements Target.
+func (t *PytheasTarget) Name() string {
+	if t.Guarded {
+		return "pytheas-guarded"
+	}
+	return "pytheas"
+}
+
+// Space implements Target.
+func (t *PytheasTarget) Space() Space {
+	t.init()
+	return Space{
+		// Botnet share of the group's sessions.
+		{Name: "bots_frac", Min: 0.004, Max: 0.4, Log: true},
+		// Reports each bot submits per epoch (dedup caps this at 1).
+		{Name: "report_mult", Min: 1, Max: 10, Integer: true, Log: true},
+		// Fabricated QoE values: what a bot reports for a well-performing
+		// option (low) and a poorly performing one (high).
+		{Name: "low_qoe", Min: 0.05, Max: 1.5},
+		{Name: "high_qoe", Min: 3.5, Max: 5},
+	}
+}
+
+// Evaluate implements Target.
+func (t *PytheasTarget) Evaluate(x Vector, evalSeed uint64) Outcome {
+	t.init()
+	if evalSeed == 0 {
+		evalSeed = 1
+	}
+	bots := int(x[0] * float64(t.Sessions))
+	if bots < 1 {
+		bots = 1
+	}
+	mult := int(x[1])
+	cfg := pytheas.SimConfig{
+		Sessions: t.Sessions,
+		Epochs:   t.Epochs,
+		Seed:     evalSeed,
+	}
+	if t.Guarded {
+		cfg.DedupReports = true
+		cfg.E2.Aggregate = pytheas.MADFiltered(3)
+	}
+	atk := pytheas.Poison{
+		Bots:             bots,
+		ReportMultiplier: mult,
+		LowQoE:           x[2],
+		HighQoE:          x[3],
+	}.Defaults()
+	res := pytheas.Run(cfg, atk)
+
+	// Option 0 is the good site (SimConfig defaults); the attack wins
+	// when the honest majority lands off it.
+	goodShare := res.LateShare[0]
+	out := Outcome{
+		Flipped: goodShare < 0.5,
+		// Report volume per epoch; dedup makes the multiplier dead
+		// weight, which the cost then exposes.
+		Cost: float64(bots * mult),
+	}
+	// Progress: how much of the honest population the attack displaced
+	// (baseline share sits near 1; 0.5 is the boundary).
+	p := (1 - goodShare) / 0.5
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	out.Progress = p
+	if out.Flipped {
+		out.Progress = 1
+	}
+	return out
+}

@@ -14,13 +14,27 @@ const defaultShrinkBudget = 400
 // round parameters — and repeat until a full sweep accepts nothing or the
 // budget is exhausted. Shrinking is sequential and deterministic: the
 // result depends only on (s, rule, budget).
+//
+// Shrinking preserves the reproducer's verdict class, not just the rule
+// name: if the original scenario is adversarial (it carries attack
+// workloads or MitM taps), every accepted candidate must remain
+// adversarial. Without this, a rule that also fires through a benign
+// cause lets the drop-workloads/drop-taps passes strip the attack
+// machinery, and the "minimal" reproducer no longer witnesses the attack
+// at all — attack specs are kept exactly when they are load-bearing for
+// the adversarial reading of the failure, which is what the corpus entry
+// was filed for.
 func Shrink(s *scenario.Scenario, rule string, budget int) (*scenario.Scenario, int) {
 	if budget <= 0 {
 		budget = defaultShrinkBudget
 	}
+	wantAdv := adversarial(s)
 	spent := 0
 	check := func(c *scenario.Scenario) bool {
-		if spent >= budget || c.Validate() != nil {
+		// Structural rejections spend no budget, like Validate failures:
+		// a candidate that left the original's verdict class is not worth
+		// a run.
+		if spent >= budget || c.Validate() != nil || (wantAdv && !adversarial(c)) {
 			return false
 		}
 		spent++
@@ -50,6 +64,18 @@ func Shrink(s *scenario.Scenario, rule string, budget int) (*scenario.Scenario, 
 	out := cur.Clone()
 	out.Name = s.Name + "-shrunk"
 	return &out, spent
+}
+
+// adversarial reports whether the scenario contains attacker machinery:
+// an attack-kind workload or any MitM tap. This is the verdict class
+// Shrink preserves.
+func adversarial(s *scenario.Scenario) bool {
+	for _, w := range s.Workloads {
+		if w.Kind == scenario.KindAttack {
+			return true
+		}
+	}
+	return len(s.Taps) > 0
 }
 
 // Each pass tries its candidates against check and returns the last

@@ -1,0 +1,120 @@
+package fuzz
+
+import (
+	"testing"
+
+	"dui/internal/scenario"
+)
+
+// TestShrinkKeepsAdversarialClass is the regression test for the
+// verdict-class bug: the shrinker used to accept any candidate that still
+// fired the rule, so when a rule also fires through a benign cause, the
+// drop-workloads pass stripped the attack workload out of an adversarial
+// reproducer and the "minimal" corpus entry no longer witnessed an attack
+// at all. The fixture is the committed linkfail-flush corpus entry
+// augmented with an attack workload that is deliberately NOT load-bearing
+// for the rule — exactly the shape the pre-fix shrinker de-adversarialized.
+func TestShrinkKeepsAdversarialClass(t *testing.T) {
+	entries, err := LoadCorpus("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entry *Entry
+	for _, e := range entries {
+		if e.Name == "linkfail-flush" {
+			entry = e
+			break
+		}
+	}
+	if entry == nil {
+		t.Fatal("linkfail-flush corpus entry missing")
+	}
+	if err := SetHook(entry.Hook, true); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = SetHook(entry.Hook, false) }()
+
+	s := entry.Scenario.Clone()
+	s.Workloads = append(s.Workloads, scenario.WorkloadSpec{
+		Kind: scenario.KindAttack, From: 0, To: 1, Flows: 2, PPS: 40, Until: 2,
+	})
+	if !adversarial(&s) {
+		t.Fatal("augmented fixture not adversarial")
+	}
+	if rep := scenario.Run(&s, scenario.Options{}); !rep.HasRule(entry.Rule) {
+		t.Fatalf("augmented fixture does not fire %s: %v", entry.Rule, rep.Violations)
+	}
+	// The trap the pre-fix shrinker fell into: dropping the attack
+	// workload still fires the rule (the legit queue alone survives the
+	// failure under the hook), so rule membership alone would accept the
+	// benign candidate.
+	benign := s.Clone()
+	benign.Workloads = benign.Workloads[:1]
+	if adversarial(&benign) {
+		t.Fatal("benign variant still adversarial; fixture is wrong")
+	}
+	if rep := scenario.Run(&benign, scenario.Options{}); !rep.HasRule(entry.Rule) {
+		t.Fatalf("benign variant does not fire %s — the attack workload is load-bearing and the fixture cannot catch the class bug", entry.Rule)
+	}
+
+	shrunk, runs := Shrink(&s, entry.Rule, 0)
+	if runs == 0 {
+		t.Fatal("shrinker ran no candidates")
+	}
+	if !adversarial(shrunk) {
+		t.Fatalf("shrunk reproducer lost the adversarial class: workloads %+v taps %+v",
+			shrunk.Workloads, shrunk.Taps)
+	}
+	attacks := 0
+	for _, w := range shrunk.Workloads {
+		if w.Kind == scenario.KindAttack {
+			attacks++
+		}
+	}
+	if attacks == 0 && len(shrunk.Taps) == 0 {
+		t.Fatal("no attack spec survived shrinking")
+	}
+	if rep := scenario.Run(shrunk, scenario.Options{}); !rep.HasRule(entry.Rule) {
+		t.Fatalf("shrunk reproducer does not fire %s: %v", entry.Rule, rep.Violations)
+	}
+}
+
+// TestShrinkBenignUnconstrained pins that the class guard only binds
+// adversarial originals: a benign reproducer shrinks exactly as before,
+// with attack machinery never reintroduced and no structural rejections
+// interfering.
+func TestShrinkBenignUnconstrained(t *testing.T) {
+	entries, err := LoadCorpus("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entry *Entry
+	for _, e := range entries {
+		if e.Name == "linkfail-flush" {
+			entry = e
+			break
+		}
+	}
+	if entry == nil {
+		t.Fatal("linkfail-flush corpus entry missing")
+	}
+	if err := SetHook(entry.Hook, true); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = SetHook(entry.Hook, false) }()
+
+	s := entry.Scenario.Clone()
+	if adversarial(&s) {
+		t.Fatal("linkfail-flush entry became adversarial; update this test")
+	}
+	shrunk, runs := Shrink(&s, entry.Rule, 0)
+	if runs == 0 {
+		t.Fatal("shrinker ran no candidates")
+	}
+	if adversarial(shrunk) {
+		t.Fatal("shrinking a benign reproducer produced attack machinery")
+	}
+	if rep := scenario.Run(shrunk, scenario.Options{}); !rep.HasRule(entry.Rule) {
+		t.Fatalf("shrunk benign reproducer does not fire %s: %v", entry.Rule, rep.Violations)
+	}
+}

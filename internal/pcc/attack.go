@@ -28,6 +28,16 @@ type Equalizer struct {
 	// a fast trial (default 0.4%: below the ε_min=1% trial amplitude,
 	// above pacing noise).
 	DetectMargin float64
+	// ExtraDrop is the loss margin added on top of the exact equalizing
+	// drop so the punished fast trial lands decisively below its slow
+	// counterpart (default 0.03). Smaller margins cost less budget but
+	// risk ties resolving in the victim's favor — the knob the cost
+	// search in internal/advsearch explores.
+	ExtraDrop float64
+	// ActiveFrom delays the attack: packets before this time pass
+	// untouched (0 = attack from the start). Phase tracking still runs so
+	// the base-rate estimate is warm when the attack engages.
+	ActiveFrom float64
 
 	rng   *stats.RNG
 	flows map[packet.FlowKey]*eqFlow
@@ -73,6 +83,7 @@ func NewEqualizer(u Utility, rng *stats.RNG) *Equalizer {
 	return &Equalizer{
 		Util:         u,
 		DetectMargin: 0.004,
+		ExtraDrop:    0.03,
 		rng:          rng,
 		flows:        map[packet.FlowKey]*eqFlow{},
 	}
@@ -159,7 +170,7 @@ func (e *Equalizer) Intercept(now float64, p *packet.Packet, dir netsim.Directio
 			e.DebugClassify(now, f.curRate, base, kind, f.sinceBase)
 		}
 	}
-	if !f.punishCur {
+	if !f.punishCur || now < e.ActiveFrom {
 		return netsim.TapVerdict{}
 	}
 	// Degrade the punished fast phase decisively below its slow
@@ -173,7 +184,7 @@ func (e *Equalizer) Intercept(now float64, p *packet.Packet, dir netsim.Directio
 	if slow < 0.5 {
 		slow = 0.5
 	}
-	drop := EqualizingDrop(e.Util, ratio, slow, 0) + 0.03
+	drop := EqualizingDrop(e.Util, ratio, slow, 0) + e.ExtraDrop
 	f.credit += drop
 	if f.credit >= 1 {
 		f.credit--

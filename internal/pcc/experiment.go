@@ -29,6 +29,16 @@ type OscConfig struct {
 	// MinMI is the monitor interval floor (default 0.5 s — large enough
 	// that per-MI loss is not dominated by quantization).
 	MinMI float64
+	// EpsMax caps the victim's trial amplitude (0 = the sender default
+	// 0.05). The supervisor's clamped deployment lowers it — see
+	// supervisor.ClampedPCCConfig.
+	EpsMax float64
+	// EqDetectMargin, EqExtraDrop and EqActiveFrom tune the equalizer
+	// when Attack is set (0 = the Equalizer defaults) — the attack knobs
+	// internal/advsearch searches over.
+	EqDetectMargin float64
+	EqExtraDrop    float64
+	EqActiveFrom   float64
 	// Debug prints per-MI records of flow 0 (test diagnostics only).
 	Debug bool
 }
@@ -137,6 +147,13 @@ func RunOscillation(cfg OscConfig) *OscResult {
 			util = Allegro
 		}
 		eq = NewEqualizer(util, rng.Child())
+		if cfg.EqDetectMargin > 0 {
+			eq.DetectMargin = cfg.EqDetectMargin
+		}
+		if cfg.EqExtraDrop > 0 {
+			eq.ExtraDrop = cfg.EqExtraDrop
+		}
+		eq.ActiveFrom = cfg.EqActiveFrom
 		if cfg.Debug {
 			eq.DebugClassify = func(now, rate, base float64, kind string, sb int) {
 				fmt.Printf("  [eq t=%5.2f rate=%7.2f base=%7.2f %s sinceBase=%d]\n", now, rate, base, kind, sb)
@@ -159,6 +176,7 @@ func RunOscillation(cfg OscConfig) *OscResult {
 		flows[i] = Start(se, de, Config{
 			Key: key, StartRate: cfg.StartRate, MaxRate: 4 * cfg.CapacityPPS,
 			Utility: cfg.Utility, MinMI: cfg.MinMI, Duration: cfg.Duration,
+			EpsMax: cfg.EpsMax,
 		}, rng.Child())
 	}
 	// Wrap the destination receiver to count arrivals into bins: the

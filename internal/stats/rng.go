@@ -70,6 +70,22 @@ func (r *RNG) Child() *RNG {
 // use it to hand trial k exactly the stream a sequential loop of Child
 // calls would have produced, so parallel and sequential runs are
 // bit-identical (see internal/runner).
+//
+// # Axis namespaces
+//
+// Child indices under one seed form a flat namespace, so every consumer
+// that derives several streams from the same seed value must own a
+// disjoint index range. The ranges in use today: internal/scenario draws
+// workload streams at 1000+i, tap streams at 2000+i, gray-failure
+// processes at 3000+i and flap schedules at 4000+i of the scenario seed;
+// trace.PopShard owns the entire 0..65535 prefix-id range of its own
+// shard seed. New subsystems that need generation/member/trial axes must
+// NOT carve further ranges out of a seed they share with an existing
+// consumer — they derive a fresh per-purpose seed first via PathSeed with
+// a distinct leading purpose tag (see internal/advsearch), which makes the
+// purpose part of the derivation path instead of an index-range
+// convention. The cross-package alias test in internal/advsearch pins
+// that these families never collide.
 func ChildAt(seed uint64, k uint64) *RNG {
 	mix := seed ^ (0x9e3779b97f4a7c15 * (k + 1))
 	a := splitmix64(&mix)
@@ -77,6 +93,38 @@ func ChildAt(seed uint64, k uint64) *RNG {
 	c := &RNG{hi: a, lo: b}
 	c.src = rand.New(rand.NewPCG(a, b))
 	return c
+}
+
+// ChildSeed returns the seed material of the k-th child stream: the word
+// ChildAt(seed, k) uses as the child's own seed, so
+// ChildAt(ChildSeed(s, a), b) is the b-th grandchild under axis a. It is
+// the primitive behind PathSeed/ChildPath nested derivation.
+func ChildSeed(seed uint64, k uint64) uint64 {
+	mix := seed ^ (0x9e3779b97f4a7c15 * (k + 1))
+	return splitmix64(&mix)
+}
+
+// PathSeed folds ChildSeed along a derivation path: each element descends
+// one level of the seed tree, so (purpose, generation, member) style paths
+// yield seeds that cannot alias flat ChildAt indices of the root — the
+// purpose tag is consumed by its own derivation step rather than sharing
+// the root's index namespace.
+func PathSeed(seed uint64, path ...uint64) uint64 {
+	for _, k := range path {
+		seed = ChildSeed(seed, k)
+	}
+	return seed
+}
+
+// ChildPath returns the RNG at the end of a derivation path:
+// ChildPath(s, a, b, c) == ChildAt(PathSeed(s, a, b), c), and a
+// single-element path is exactly ChildAt. An empty path returns
+// NewRNG(seed).
+func ChildPath(seed uint64, path ...uint64) *RNG {
+	if len(path) == 0 {
+		return NewRNG(seed)
+	}
+	return ChildAt(PathSeed(seed, path[:len(path)-1]...), path[len(path)-1])
 }
 
 // Uint64 returns a uniformly distributed 64-bit value.

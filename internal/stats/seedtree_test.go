@@ -1,0 +1,68 @@
+package stats
+
+import "testing"
+
+// fingerprint identifies a stream by its first draws; two streams with
+// equal fingerprints are (for the purposes of these tests) the same
+// stream.
+func fingerprint(r *RNG) [2]uint64 {
+	return [2]uint64{r.Uint64(), r.Uint64()}
+}
+
+func TestChildSeedMatchesChildAt(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeefcafe} {
+		for k := uint64(0); k < 20; k++ {
+			got := fingerprint(ChildAt(ChildSeed(seed, k), 0))
+			want := fingerprint(ChildAt(ChildAt(seed, k).hi, 0))
+			if got != want {
+				t.Fatalf("seed %#x k %d: ChildSeed does not reproduce ChildAt's seed material", seed, k)
+			}
+		}
+	}
+}
+
+func TestChildPathNestingIdentity(t *testing.T) {
+	const seed = 7
+	// A one-element path is ChildAt.
+	if fingerprint(ChildPath(seed, 5)) != fingerprint(ChildAt(seed, 5)) {
+		t.Fatal("ChildPath(s, k) != ChildAt(s, k)")
+	}
+	// A longer path is nested ChildAt through PathSeed.
+	want := fingerprint(ChildAt(ChildSeed(ChildSeed(seed, 3), 11), 2))
+	if fingerprint(ChildPath(seed, 3, 11, 2)) != want {
+		t.Fatal("ChildPath(s, a, b, c) != ChildAt(ChildSeed(ChildSeed(s,a),b), c)")
+	}
+	if PathSeed(seed, 3, 11) != ChildSeed(ChildSeed(seed, 3), 11) {
+		t.Fatal("PathSeed does not fold ChildSeed")
+	}
+	// The empty path is the root stream itself.
+	if fingerprint(ChildPath(seed)) != fingerprint(NewRNG(seed)) {
+		t.Fatal("ChildPath(s) != NewRNG(s)")
+	}
+}
+
+// TestPathSeedSeparatesPurposes pins the namespacing property PathSeed
+// exists for: streams under distinct leading purpose tags never collide
+// with each other or with flat ChildAt children of the same root, even
+// when their trailing (generation, member) indices overlap the flat index
+// range.
+func TestPathSeedSeparatesPurposes(t *testing.T) {
+	const seed = 99
+	seen := map[[2]uint64]string{}
+	add := func(name string, fp [2]uint64) {
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("stream %s aliases %s", name, prev)
+		}
+		seen[fp] = name
+	}
+	for k := uint64(0); k < 64; k++ {
+		add("flat", fingerprint(ChildAt(seed, k)))
+	}
+	for _, tag := range []uint64{0, 1, 2, 0xA11, 0xA12} {
+		for g := uint64(0); g < 4; g++ {
+			for m := uint64(0); m < 8; m++ {
+				add("path", fingerprint(ChildPath(seed, tag, g, m)))
+			}
+		}
+	}
+}

@@ -53,13 +53,29 @@ func NewRTOModel(srtts []float64, rtoMin float64) *RTOModel {
 }
 
 // Check compares observed retransmission gaps against the model and
-// returns the verdict. The risk is 1 minus the model's Coverage of the
-// observed histogram (0 = every gap in the model's most-expected bins,
-// 1 = no gap anywhere the model has mass). Coverage, not L1 distance: in
-// a low-jitter environment every genuine gap collapses onto the RTO floor,
-// and a symmetric distance would read that concentration — the strongest
-// possible match with the model's dominant bin — as implausible.
+// returns the verdict at the default veto threshold (maxRisk 0.5). The
+// risk is 1 minus the model's Coverage of the observed histogram (0 =
+// every gap in the model's most-expected bins, 1 = no gap anywhere the
+// model has mass). Coverage, not L1 distance: in a low-jitter environment
+// every genuine gap collapses onto the RTO floor, and a symmetric distance
+// would read that concentration — the strongest possible match with the
+// model's dominant bin — as implausible.
 func (m *RTOModel) Check(gaps []float64) Verdict {
+	return m.CheckWith(gaps, 0.5)
+}
+
+// CheckWith is Check with an explicit veto threshold: the verdict is
+// implausible exactly when risk >= maxRisk. The boundary is inclusive by
+// design — a window whose risk lands exactly on the threshold is vetoed —
+// so "Plausible == (risk < maxRisk)" holds identically everywhere the
+// verdict is consumed, with no off-by-one drift between the guard and
+// direct Check callers (pinned by the boundary table tests). maxRisk <= 0
+// means the default 0.5; maxRisk > 1 disables vetoes (risk never exceeds
+// 1), the knob a deliberately weakened deployment turns.
+func (m *RTOModel) CheckWith(gaps []float64, maxRisk float64) Verdict {
+	if maxRisk <= 0 {
+		maxRisk = 0.5
+	}
 	if len(gaps) == 0 {
 		return Verdict{Plausible: true, Risk: 0, Reason: "no retransmissions observed"}
 	}
@@ -68,7 +84,7 @@ func (m *RTOModel) Check(gaps []float64) Verdict {
 		obs.Add(g)
 	}
 	risk := 1 - m.hist.Coverage(obs)
-	v := Verdict{Risk: risk, Plausible: risk < 0.5}
+	v := Verdict{Risk: risk, Plausible: risk < maxRisk}
 	if v.Plausible {
 		v.Reason = "retransmission timing matches the expected RTO distribution"
 	} else {
@@ -84,6 +100,8 @@ type BlinkGuard struct {
 	Model *RTOModel
 	// Window is how far back (seconds) gaps are considered at veto time.
 	Window float64
+	// MaxRisk is the veto threshold (see GuardConfig).
+	MaxRisk float64
 
 	// Verdicts records every check performed.
 	Verdicts []Verdict
@@ -92,10 +110,37 @@ type BlinkGuard struct {
 	times []float64
 }
 
-// GuardPipeline installs the guard on pipeline's first monitored prefix
-// and returns it. Call before traffic starts.
+// GuardConfig tunes a BlinkGuard deployment. The zero value is the
+// default guard (3 s gap window, veto at risk >= 0.5).
+type GuardConfig struct {
+	// Window is how far back (seconds) gaps are considered at veto time
+	// (<= 0 = 3).
+	Window float64
+	// MaxRisk is the veto threshold handed to RTOModel.CheckWith (<= 0 =
+	// 0.5; > 1 never vetoes — a deliberately weakened guard).
+	MaxRisk float64
+}
+
+// GuardPipeline installs the default-configured guard on pipeline's first
+// monitored prefix and returns it. Call before traffic starts.
 func GuardPipeline(p *blink.Pipeline, model *RTOModel) *BlinkGuard {
-	g := &BlinkGuard{Model: model, Window: 3}
+	return GuardPipelineCfg(p, model, GuardConfig{})
+}
+
+// GuardPipelineCfg is GuardPipeline with an explicit configuration.
+//
+// The veto-time gap selection uses the same subtraction form as
+// blink.Monitor's in-window test (now - t <= window), via windowContains.
+// The earlier addition form (t >= now - window) disagrees with it at
+// exact window edges — IEEE rounding of now-window differs from that of
+// now-t — so the guard would judge a slightly different gap set than the
+// selector counted, the boundary drift a search-based attacker can sit
+// on. The table tests in boundary_test.go pin the agreement.
+func GuardPipelineCfg(p *blink.Pipeline, model *RTOModel, cfg GuardConfig) *BlinkGuard {
+	if cfg.Window <= 0 {
+		cfg.Window = 3
+	}
+	g := &BlinkGuard{Model: model, Window: cfg.Window, MaxRisk: cfg.MaxRisk}
 	p.Monitor(0).OnRetrans(func(ev blink.RetransEvent) {
 		g.gaps = append(g.gaps, ev.Gap)
 		g.times = append(g.times, ev.Now)
@@ -103,13 +148,21 @@ func GuardPipeline(p *blink.Pipeline, model *RTOModel) *BlinkGuard {
 	p.Veto = func(r blink.Reroute, m *blink.Monitor) bool {
 		var recent []float64
 		for i := range g.gaps {
-			if g.times[i] >= r.Now-g.Window {
+			if windowContains(r.Now, g.times[i], g.Window) {
 				recent = append(recent, g.gaps[i])
 			}
 		}
-		v := model.Check(recent)
+		v := model.CheckWith(recent, g.MaxRisk)
 		g.Verdicts = append(g.Verdicts, v)
 		return !v.Plausible
 	}
 	return g
+}
+
+// windowContains reports whether an event at time t lies within the
+// sliding window ending at now — in the same subtraction form
+// (now-t <= window) the blink selector uses, so guard and monitor agree
+// at the exact window edge.
+func windowContains(now, t, window float64) bool {
+	return now-t <= window
 }
