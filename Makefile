@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race audit bench bench-smoke bench-gate pop-smoke fuzz-smoke chaos-smoke advsearch-smoke report
+.PHONY: check vet build test race audit bench bench-smoke bench-gate pop-smoke fuzz-smoke chaos-smoke advsearch-smoke duid-smoke report
 
 ## check: the full gate — vet, build, race-enabled tests.
 check: vet build race
@@ -77,6 +77,14 @@ advsearch-smoke:
 	/tmp/advsearch -quick -system blink -parallel 4 2>/dev/null > /tmp/advsearch-b.json
 	cmp /tmp/advsearch-a.json /tmp/advsearch-b.json
 	@echo "advsearch-smoke: worker-count independent frontier verified"
+
+## duid-smoke: the campaign-service gate — a fuzz campaign submitted over
+## the duid HTTP API is kill -9'd mid-run, restarted over the same state
+## directory, and must resume from its journals to result bytes identical
+## (cmp) to a direct simfuzz -json run; an identical resubmission must be
+## served from the result cache without re-execution.
+duid-smoke:
+	./scripts/duid_smoke.sh
 
 ## report: regenerate the full reproduction report on all cores.
 report:

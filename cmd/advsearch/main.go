@@ -10,143 +10,76 @@
 // cheapest flipping candidates are then re-validated at independent seeds
 // to price their reliability.
 //
+// The search itself lives in internal/campaign's adv job kind
+// (campaign.RunAdv); this binary is a thin client over it. -server
+// submits the search to a running duid server instead of executing
+// inline — the JSON is byte-identical either way.
+//
 // The entire output is a pure function of (-seed, -gens, -pop, -searcher,
 // -system, -guarded, -validate, -quick): bit-identical across reruns and
 // across any -parallel setting, so a frontier is reproducible from the
-// single seed printed inside it. Progress goes to stderr; stdout carries
-// only the JSON.
+// single seed printed inside it. Stdout carries only the JSON.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"dui/internal/advsearch"
+	"dui/internal/campaign"
+	"dui/internal/cli"
 )
-
-type systemOut struct {
-	System   string                    `json:"system"`
-	Guarded  bool                      `json:"guarded"`
-	Searcher string                    `json:"searcher"`
-	Evals    int                       `json:"evals"`
-	Best     *advsearch.Candidate      `json:"best"`
-	Frontier []advsearch.FrontierPoint `json:"frontier"`
-	Gens     []advsearch.GenStat       `json:"gens"`
-}
-
-type output struct {
-	Seed        uint64      `json:"seed"`
-	Generations int         `json:"generations"`
-	Pop         int         `json:"pop"`
-	Validations int         `json:"validations"`
-	Systems     []systemOut `json:"systems"`
-}
 
 func main() {
 	var (
 		system   = flag.String("system", "all", "blink | pytheas | pcc | all")
 		guarded  = flag.String("guarded", "both", "on | off | both")
 		searcher = flag.String("searcher", "cem", "cem | anneal")
-		seed     = flag.Uint64("seed", 1, "root seed; the whole output derives from it")
+		seed     = cli.Seed("root seed; the whole output derives from it")
 		gens     = flag.Int("gens", 8, "search generations")
 		pop      = flag.Int("pop", 24, "population per generation")
 		validate = flag.Int("validate", 5, "validation replications per frontier candidate")
-		parallel = flag.Int("parallel", 0, "evaluation workers (0 = all cores; output identical at any setting)")
-		quick    = flag.Bool("quick", false, "reduced budget (3x8, 2 validations) for smoke runs")
+		parallel = cli.Parallel("evaluation workers (0 = all cores; output identical at any setting)")
+		server   = flag.String("server", "", "submit the search to the duid server at this URL")
+		quick    = flag.Bool("quick", false, "reduced budget (3x8, 2 validations) and shrunk per-eval simulations for smoke runs")
 	)
-	flag.Parse()
+	cli.Parse("advsearch")
 	if *quick {
 		*gens, *pop, *validate = 3, 8, 2
-	}
-
-	var s advsearch.Searcher
-	switch *searcher {
-	case "cem":
-		s = advsearch.CEM{}
-	case "anneal":
-		s = advsearch.Anneal{}
-	default:
-		fmt.Fprintf(os.Stderr, "advsearch: unknown -searcher %q\n", *searcher)
-		os.Exit(2)
 	}
 
 	var systems []string
 	switch *system {
 	case "all":
-		systems = []string{"blink", "pytheas", "pcc"}
+		systems = nil // canonical default: blink, pytheas, pcc
 	case "blink", "pytheas", "pcc":
 		systems = []string{*system}
 	default:
 		fmt.Fprintf(os.Stderr, "advsearch: unknown -system %q\n", *system)
 		os.Exit(2)
 	}
-	var deployments []bool
 	switch *guarded {
-	case "both":
-		deployments = []bool{false, true}
-	case "off":
-		deployments = []bool{false}
-	case "on":
-		deployments = []bool{true}
+	case "both", "off", "on":
 	default:
 		fmt.Fprintf(os.Stderr, "advsearch: unknown -guarded %q\n", *guarded)
 		os.Exit(2)
 	}
-
-	out := output{Seed: *seed, Generations: *gens, Pop: *pop, Validations: *validate}
-	// Fixed iteration order (system-major, unguarded first) so the JSON
-	// layout never depends on flag spelling.
-	for _, sys := range systems {
-		for _, g := range deployments {
-			tgt := makeTarget(sys, g, *quick)
-			fmt.Fprintf(os.Stderr, "advsearch: %s (searcher %s, %d evals)\n",
-				tgt.Name(), s.Name(), *gens**pop)
-			res := s.Search(tgt, advsearch.Config{
-				Seed: *seed, Generations: *gens, Pop: *pop, Workers: *parallel,
-			})
-			front := advsearch.Frontier(tgt, res, *validate, *parallel)
-			fmt.Fprintf(os.Stderr, "advsearch: %s: %d flips, %d frontier points\n",
-				tgt.Name(), len(res.Flipped), len(front))
-			out.Systems = append(out.Systems, systemOut{
-				System: sys, Guarded: g, Searcher: s.Name(),
-				Evals: res.Evals, Best: res.Best, Frontier: front, Gens: res.Gens,
-			})
-		}
+	switch *searcher {
+	case "cem", "anneal":
+	default:
+		fmt.Fprintf(os.Stderr, "advsearch: unknown -searcher %q\n", *searcher)
+		os.Exit(2)
 	}
 
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	spec := campaign.JobSpec{Kind: campaign.KindAdv, Adv: &campaign.AdvSpec{
+		Systems: systems, Guarded: *guarded, Searcher: *searcher,
+		Seed: *seed, Gens: *gens, Pop: *pop, Validate: *validate, Quick: *quick,
+	}}
+	raw, err := cli.DispatchCampaign(context.Background(), "advsearch", *server, spec, *parallel, true)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "advsearch: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-// makeTarget builds the system under attack. Quick mode shrinks the
-// per-evaluation simulations, not just the search budget, so smoke runs
-// stay in CI-friendly time.
-func makeTarget(system string, guarded, quick bool) advsearch.Target {
-	switch system {
-	case "blink":
-		t := &advsearch.BlinkTarget{Guarded: guarded}
-		if quick {
-			t.Duration, t.MaxFlows = 4, 64
-		}
-		return t
-	case "pytheas":
-		t := advsearch.NewPytheasTarget(guarded)
-		if quick {
-			t.Sessions, t.Epochs = 200, 60
-		}
-		return t
-	case "pcc":
-		t := &advsearch.PCCTarget{Guarded: guarded}
-		if quick {
-			t.Duration = 24
-		}
-		return t
-	}
-	panic("unreachable: system validated in main")
+	os.Stdout.Write(raw)
 }

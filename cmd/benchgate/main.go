@@ -32,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"dui/internal/cli"
 )
 
 // Benchmark mirrors cmd/benchjson's entry: one parsed result line.
@@ -86,7 +88,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: benchgate [-floor BENCH_FLOOR.json] [-strict] [-strict-allocs] BENCH.json\n")
 		flag.PrintDefaults()
 	}
-	flag.Parse()
+	cli.Parse("benchgate")
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

@@ -15,6 +15,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"dui/internal/cli"
 )
 
 // Benchmark is one parsed result line.
@@ -35,7 +37,7 @@ type File struct {
 
 func main() {
 	out := flag.String("o", "", "write JSON here (default stdout, after the echoed input)")
-	flag.Parse()
+	cli.Parse("benchjson")
 
 	doc := File{GeneratedBy: "go test -bench=. -benchmem -count=1 | benchjson"}
 	sc := bufio.NewScanner(os.Stdin)

@@ -17,6 +17,7 @@ import (
 	"dui"
 	"dui/internal/audit"
 	"dui/internal/blink"
+	"dui/internal/cli"
 	"dui/internal/prof"
 	"dui/internal/runner"
 	"dui/internal/stats"
@@ -29,15 +30,15 @@ func main() {
 		tr       = flag.Float64("tr", 8.37, "target mean sampled residence tR (s)")
 		qm       = flag.Float64("qm", 0.0525, "malicious traffic fraction")
 		flows    = flag.Int("flows", 2000, "legitimate flow population")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
+		seed     = cli.Seed("")
 		meanDur  = flag.Float64("meandur", 0, "legit mean flow duration (0 = calibrate to tR)")
 		csv      = flag.Bool("csv", false, "emit plottable CSV instead of the summary")
-		parallel = flag.Int("parallel", 0, "trial workers (0 = all cores; results identical at any setting)")
+		parallel = cli.Parallel("")
 		progress = flag.Bool("progress", false, "report per-trial progress on stderr")
-		trace    = flag.String("trace", "", "write the per-trial selector event trace (JSONL) to this file; diff two runs with cmd/simtrace")
-		audited  = flag.Bool("audit", audit.EnabledFromEnv(), "check selector invariants on every trial (defaults to DUI_AUDIT)")
+		trace    = cli.Trace("write the per-trial selector event trace (JSONL) to this file; diff two runs with cmd/simtrace")
+		audited  = cli.Audit("check selector invariants on every trial (defaults to DUI_AUDIT)")
 	)
-	flag.Parse()
+	cli.Parse("blink-fig2")
 	defer prof.Start()()
 
 	cfgIn := dui.Fig2Config{

@@ -15,11 +15,12 @@ import (
 
 	"dui"
 	"dui/internal/blink"
+	"dui/internal/cli"
 )
 
 func main() {
 	var (
-		seed     = flag.Uint64("seed", 1, "experiment seed")
+		seed     = cli.Seed("")
 		trigger  = flag.Float64("trigger", 150, "attack trigger time (s)")
 		duration = flag.Float64("duration", 200, "horizon (s)")
 		mal      = flag.Int("malflows", 80, "attacker flow pool")
@@ -27,9 +28,9 @@ func main() {
 		defended = flag.Bool("defended", false, "install the §5 RTO-plausibility supervisor")
 		legitRun = flag.Bool("legit", false, "run a genuine failure instead of the attack")
 		runs     = flag.Int("runs", 1, "independent seeded trials (>1 prints ensemble statistics)")
-		parallel = flag.Int("parallel", 0, "trial workers (0 = all cores; results identical at any setting)")
+		parallel = cli.Parallel("")
 	)
-	flag.Parse()
+	cli.Parse("blink-hijack")
 
 	if *legitRun {
 		res := dui.RunFailover(dui.FailoverConfig{FailAt: 20, Duration: 45})

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"dui/internal/cli"
 	"dui/internal/popscale"
 	"dui/internal/prof"
 )
@@ -38,13 +39,13 @@ func main() {
 	flag.IntVar(&cfg.AttackedEvery, "attack-every", 16, "attack pool on every k-th prefix (0 = attack-free)")
 	flag.IntVar(&cfg.AttackFlows, "attack-flows", 48, "attack pool size per attacked prefix (>= threshold so storms can win the majority vote)")
 	flag.Float64Var(&cfg.StormAt, "storm-at", 0, "retransmission-storm start (0 = duration/2, <0 = never)")
-	flag.Uint64Var(&cfg.Seed, "seed", 1, "root seed (prefix pid streams from ChildAt(seed, pid))")
+	cli.SeedVar(&cfg.Seed, "root seed (prefix pid streams from ChildAt(seed, pid))")
 	flag.IntVar(&cfg.Shards, "shards", 32, "contiguous prefix-range shards (output identical at any value)")
-	flag.IntVar(&cfg.Parallel, "parallel", 0, "workers for the shard pool (0 = all cores; output identical at any value)")
+	cli.ParallelVar(&cfg.Parallel, "workers for the shard pool (0 = all cores; output identical at any value)")
 	flag.IntVar(&cfg.AuditEvery, "audit-every", 0, "cross-check every k-th prefix against a shadow scalar Monitor (0 = off)")
 	quick := flag.Bool("quick", false, "reduced-scale smoke run (512 prefixes, 10 s)")
 	failures := flag.Int("failures", 5, "print the first N failure inferences")
-	flag.Parse()
+	cli.Parse("blink-pop")
 	defer prof.Start()()
 
 	if *quick {

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"dui"
+	"dui/internal/cli"
 	"dui/internal/stats"
 )
 
@@ -19,10 +20,10 @@ func main() {
 	var (
 		n        = flag.Int("prefixes", 20, "number of synthetic prefixes")
 		flows    = flag.Int("flows", 500, "concurrent flows per prefix workload")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		parallel = flag.Int("parallel", 0, "trial workers (0 = all cores; results identical at any setting)")
+		seed     = cli.Seed("")
+		parallel = cli.Parallel("")
 	)
-	flag.Parse()
+	cli.Parse("blink-survey")
 
 	prefixes := dui.SyntheticSurvey(*n, *seed)
 	rows := dui.RunSurveyN(dui.BlinkConfig{}, prefixes, *flows, *seed+1, *parallel)

@@ -11,147 +11,77 @@
 //   - false-reroute rate: unguarded, failure-free runs where gray noise
 //     alone pushed the selector past its threshold.
 //
+// The trial body lives in internal/campaign's chaos job kind; this binary
+// is a thin client over it. -json emits the canonical campaign result
+// JSON instead of the table, and -server submits the sweep to a running
+// duid server — both byte/row-identical to inline execution.
+//
 // Every trial is a pure function of (root seed, trial index): the output
 // is bit-identical at any -parallel setting.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
-	"dui/internal/blink"
-	"dui/internal/faults"
-	"dui/internal/runner"
-	"dui/internal/stats"
-	"dui/internal/supervisor"
+	"dui/internal/campaign"
+	"dui/internal/cli"
 )
-
-const (
-	failAt   = 20.0
-	duration = 45.0
-)
-
-type trialOut struct {
-	Rerouted     bool
-	Latency      float64
-	Vetoes       int
-	FalseReroute bool
-}
 
 func main() {
 	var (
 		trials   = flag.Int("trials", 10, "trials per intensity level")
-		seed     = flag.Uint64("seed", 1, "root seed (trial i derives its own stream)")
-		parallel = flag.Int("parallel", 0, "trial workers (0 = all cores; output identical at any setting)")
+		seed     = cli.Seed("root seed (trial i derives its own stream)")
+		parallel = cli.Parallel("trial workers (0 = all cores; output identical at any setting)")
 		levels   = flag.Int("levels", 6, "gray intensity levels, evenly spaced over [0, 1]")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of the table")
+		jsonOut  = flag.Bool("json", false, "emit the canonical campaign result JSON instead of the table")
+		server   = flag.String("server", "", "submit the sweep to the duid server at this URL")
 		quick    = flag.Bool("quick", false, "reduced sweep (3 levels x 3 trials) for smoke runs")
 	)
-	flag.Parse()
+	cli.Parse("chaos-eval")
 	if *quick {
 		*trials, *levels = 3, 3
 	}
-	if *levels < 2 || *trials < 1 {
-		fmt.Fprintln(os.Stderr, "chaos-eval: need -levels >= 2 and -trials >= 1")
+	if *jsonOut && *csvOut {
+		fmt.Fprintln(os.Stderr, "chaos-eval: -json and -csv are mutually exclusive")
 		os.Exit(2)
 	}
-	eps := make([]float64, *levels)
-	for i := range eps {
-		eps[i] = float64(i) / float64(*levels-1)
-	}
 
-	// The supervisor model is trained once, from passively measured RTTs of
-	// a clean chaos-free run — exactly what an operator can observe.
-	clean := blink.RunFailover(blink.FailoverConfig{FailAt: 0, Duration: 20})
-	model := supervisor.NewRTOModel(clean.SRTTs, 0.2)
-
-	nTrials := *trials
-	outs, err := runner.Run(context.Background(), *levels*nTrials, *seed,
-		runner.Config{Workers: *parallel},
-		func(_ context.Context, t runner.Trial) (trialOut, error) {
-			e := eps[t.Index/nTrials]
-			grayCfg := faults.GrayConfig{
-				LossP: 0.03 * e, DupP: 0.01 * e, CorruptP: 0.005 * e,
-				JitterP: 0.5, Jitter: 0.04 * e,
-			}
-			chaos := func(base uint64) func(blink.FailoverTopo) {
-				if e == 0 {
-					return nil // ε=0 stays bit-identical to a chaos-free run
-				}
-				return func(topo blink.FailoverTopo) {
-					topo.PrimaryTrunk.SetFault(faults.NewGray(grayCfg, stats.ChildAt(t.Seed, base)))
-					topo.PrimaryTail.SetFault(faults.NewGray(grayCfg, stats.ChildAt(t.Seed, base+1)))
-				}
-			}
-
-			// (a) Guarded deployment, genuine failure under chaos.
-			guarded := blink.RunFailover(blink.FailoverConfig{
-				FailAt: failAt, Duration: duration,
-				Hook:  func(p *blink.Pipeline) { supervisor.GuardPipeline(p, model) },
-				Chaos: chaos(0),
-			})
-			// (b) Unguarded deployment, no failure: does chaos alone reroute?
-			unguarded := blink.RunFailover(blink.FailoverConfig{
-				FailAt: 0, Duration: duration,
-				Chaos: chaos(2),
-			})
-			t.ReportVirtual(2 * duration)
-			return trialOut{
-				Rerouted:     guarded.Rerouted,
-				Latency:      guarded.DetectionLatency,
-				Vetoes:       guarded.VetoedReroutes,
-				FalseReroute: unguarded.Rerouted,
-			}, nil
-		})
+	spec := campaign.JobSpec{Kind: campaign.KindChaos, Chaos: &campaign.ChaosSpec{
+		Trials: *trials, Levels: *levels, RootSeed: *seed,
+	}}
+	raw, err := cli.DispatchCampaign(context.Background(), "chaos-eval", *server, spec, *parallel, true)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos-eval:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		os.Stdout.Write(raw)
+		return
+	}
+	var res campaign.ChaosResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos-eval: bad result:", err)
 		os.Exit(1)
 	}
 
 	if *csvOut {
 		fmt.Println("eps,trials,detect_rate,median_latency_s,false_veto_rate,false_reroute_rate")
 	} else {
-		fmt.Printf("Blink failure inference under gray failure (%d trials/level, seed %d)\n", nTrials, *seed)
+		fmt.Printf("Blink failure inference under gray failure (%d trials/level, seed %d)\n", res.Trials, res.RootSeed)
 		fmt.Printf("%6s %12s %16s %16s %18s\n", "eps", "detect", "median latency", "false vetoes", "false reroutes")
 	}
-	for li, e := range eps {
-		detect, vetoRuns, falseRe := 0, 0, 0
-		var lats []float64
-		for _, o := range outs[li*nTrials : (li+1)*nTrials] {
-			if o.Rerouted {
-				detect++
-				lats = append(lats, o.Latency)
-			}
-			if o.Vetoes > 0 {
-				vetoRuns++
-			}
-			if o.FalseReroute {
-				falseRe++
-			}
-		}
-		n := float64(nTrials)
+	for _, r := range res.Rows {
 		if *csvOut {
 			fmt.Printf("%.2f,%d,%.4f,%.4f,%.4f,%.4f\n",
-				e, nTrials, float64(detect)/n, median(lats), float64(vetoRuns)/n, float64(falseRe)/n)
+				r.Eps, r.Trials, r.DetectRate, r.MedianLatency, r.FalseVetoRate, r.FalseRerouteRate)
 		} else {
 			fmt.Printf("%6.2f %11.0f%% %15.3fs %15.0f%% %17.0f%%\n",
-				e, 100*float64(detect)/n, median(lats), 100*float64(vetoRuns)/n, 100*float64(falseRe)/n)
+				r.Eps, 100*r.DetectRate, r.MedianLatency, 100*r.FalseVetoRate, 100*r.FalseRerouteRate)
 		}
-	}
-}
-
-func median(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	if n := len(s); n%2 == 1 {
-		return s[n/2]
-	} else {
-		return (s[n/2-1] + s[n/2]) / 2
 	}
 }

@@ -4,10 +4,10 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 
 	"dui"
+	"dui/internal/cli"
 	"dui/internal/conntrack"
 	"dui/internal/ron"
 	"dui/internal/sketch"
@@ -16,8 +16,8 @@ import (
 )
 
 func main() {
-	var seed = flag.Uint64("seed", 1, "experiment seed")
-	flag.Parse()
+	var seed = cli.Seed("")
+	cli.Parse("dataplane-attacks")
 
 	fmt.Printf("§3.2 breadth attacks\n")
 

@@ -10,22 +10,22 @@ package main
 
 import (
 	"context"
-	"flag"
 	"fmt"
 	"strings"
 
 	"dui"
 	"dui/internal/blink"
+	"dui/internal/cli"
 	"dui/internal/pytheas"
 	"dui/internal/runner"
 )
 
 func main() {
 	var (
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		parallel = flag.Int("parallel", 0, "section workers (0 = all cores; output identical at any setting)")
+		seed     = cli.Seed("")
+		parallel = cli.Parallel("section workers (0 = all cores; output identical at any setting)")
 	)
-	flag.Parse()
+	cli.Parse("defense-eval")
 
 	fmt.Printf("§5 countermeasure evaluation\n")
 

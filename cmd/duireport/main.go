@@ -20,6 +20,7 @@ import (
 
 	"dui"
 	"dui/internal/blink"
+	"dui/internal/cli"
 	"dui/internal/conntrack"
 	"dui/internal/nethide"
 	"dui/internal/prof"
@@ -32,10 +33,10 @@ import (
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "reduced-scale smoke run")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		parallel = flag.Int("parallel", 0, "workers for sections and trials (0 = all cores; report identical at any setting)")
+		seed     = cli.Seed("")
+		parallel = cli.Parallel("workers for sections and trials (0 = all cores; report identical at any setting)")
 	)
-	flag.Parse()
+	cli.Parse("duireport")
 	defer prof.Start()()
 
 	fmt.Printf("# Reproduction report (seed %d, quick=%v)\n", *seed, *quick)

@@ -6,10 +6,10 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 
 	"dui"
+	"dui/internal/cli"
 	"dui/internal/graph"
 	"dui/internal/nethide"
 	"dui/internal/stats"
@@ -17,10 +17,10 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		parallel = flag.Int("parallel", 0, "trial workers for the cap sweep (0 = all cores; results identical at any setting)")
+		seed     = cli.Seed("")
+		parallel = cli.Parallel("trial workers for the cap sweep (0 = all cores; results identical at any setting)")
 	)
-	flag.Parse()
+	cli.Parse("nethide-trace")
 
 	topos := []struct {
 		name string

@@ -11,17 +11,18 @@ import (
 	"fmt"
 
 	"dui"
+	"dui/internal/cli"
 )
 
 func main() {
 	var (
 		flows    = flag.Int("flows", 1, "concurrent PCC flows to one destination")
 		duration = flag.Float64("duration", 120, "horizon (s)")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
+		seed     = cli.Seed("")
 		capacity = flag.Float64("capacity", 1000, "per-flow bottleneck capacity (pkts/s)")
 		miTrace  = flag.Bool("mitrace", false, "dump flow 0's monitor-interval records")
 	)
-	flag.Parse()
+	cli.Parse("pcc-oscillate")
 
 	clean := dui.RunOscillation(dui.OscConfig{
 		Flows: *flows, Duration: *duration, Seed: *seed, CapacityPPS: *capacity,

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"dui"
+	"dui/internal/cli"
 	"dui/internal/pytheas"
 )
 
@@ -16,10 +17,10 @@ func main() {
 	var (
 		sessions   = flag.Int("sessions", 1000, "group population")
 		epochs     = flag.Int("epochs", 300, "simulation epochs")
-		seed       = flag.Uint64("seed", 1, "experiment seed")
+		seed       = cli.Seed("")
 		multiplier = flag.Int("multiplier", 5, "fake reports per bot per epoch")
 	)
-	flag.Parse()
+	cli.Parse("pytheas-poison")
 
 	fractions := []float64{0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5}
 	base := dui.PytheasConfig{Sessions: *sessions, Epochs: *epochs, Seed: *seed}

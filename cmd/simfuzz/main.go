@@ -9,6 +9,8 @@
 //
 //	simfuzz [-seeds N] [-seed S] [-parallel W] [-budget D] [-shrink]
 //	        [-corpus DIR] [-max-nodes N] [-faults] [-checkpoint FILE] [-quiet]
+//	simfuzz -json [campaign flags]
+//	simfuzz -server URL [campaign flags]
 //	simfuzz -replay DIR
 //
 // The campaign verdict is a pure function of (-seed, -seeds, -faults): any
@@ -20,26 +22,37 @@
 // an identical final verdict. -replay re-checks every corpus entry in DIR
 // against current code instead of fuzzing.
 //
+// -json emits the canonical campaign result JSON (internal/campaign's
+// fuzz kind) instead of the text summary; -server submits the same
+// campaign to a running duid server and prints the result it serves. The
+// two outputs are byte-identical — the determinism gate CI's duid-smoke
+// job enforces with cmp. Both modes reject the process-local flags
+// (-budget, -checkpoint, -corpus, -replay): a campaign result must be a
+// pure function of the spec, and the server journals durability itself.
+//
 // Exit status 0 when all scenarios (or corpus entries) pass, 1 when the
 // oracles caught failures, 2 on usage or internal errors.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"dui/internal/campaign"
+	"dui/internal/cli"
 	"dui/internal/fuzz"
 	"dui/internal/runner"
 )
 
 func main() {
 	seeds := flag.Int("seeds", 200, "number of random scenarios to run")
-	seed := flag.Uint64("seed", 1, "root seed (expands into per-scenario seeds)")
-	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	seed := cli.Seed("root seed (expands into per-scenario seeds)")
+	parallel := cli.Parallel("worker pool size (0 = GOMAXPROCS)")
 	budget := flag.Duration("budget", 0, "wall-time budget; stops handing out new trials when exceeded (0 = none)")
 	shrink := flag.Bool("shrink", false, "shrink each failure to a minimal reproducer")
 	corpus := flag.String("corpus", "", "directory to write failure reproducers to")
@@ -48,15 +61,44 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "record per-trial verdicts in this file; resume a killed campaign from it")
 	replay := flag.String("replay", "", "replay corpus entries from this directory instead of fuzzing")
 	quiet := flag.Bool("quiet", false, "suppress per-failure and progress output; only the final summary")
+	jsonOut := flag.Bool("json", false, "emit the canonical campaign result JSON (internal/campaign fuzz kind) instead of the text summary")
+	server := flag.String("server", "", "submit the campaign to the duid server at this URL and print the result it serves")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: simfuzz [-seeds N] [-seed S] [-parallel W] [-budget D] [-shrink] [-corpus DIR] [-max-nodes N] [-faults] [-checkpoint FILE] [-quiet]\n")
+		fmt.Fprintf(os.Stderr, "       simfuzz -json | -server URL [campaign flags]\n")
 		fmt.Fprintf(os.Stderr, "       simfuzz -replay DIR\n")
 		flag.PrintDefaults()
 	}
-	flag.Parse()
+	cli.Parse("simfuzz")
 	if flag.NArg() != 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *jsonOut || *server != "" {
+		if *budget != 0 || *checkpoint != "" || *corpus != "" || *replay != "" {
+			fmt.Fprintln(os.Stderr, "simfuzz: -json/-server campaigns reject the process-local flags -budget, -checkpoint, -corpus, -replay")
+			os.Exit(2)
+		}
+		spec := campaign.JobSpec{Kind: campaign.KindFuzz, Fuzz: &campaign.FuzzSpec{
+			Seeds: *seeds, RootSeed: *seed, MaxNodes: *maxNodes,
+			Faults: *faultModes, Shrink: *shrink,
+		}}
+		res, err := cli.DispatchCampaign(context.Background(), "simfuzz", *server, spec, *parallel, *quiet)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simfuzz: %v\n", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(res)
+		var fr campaign.FuzzResult
+		if err := json.Unmarshal(res, &fr); err != nil {
+			fmt.Fprintf(os.Stderr, "simfuzz: bad result: %v\n", err)
+			os.Exit(2)
+		}
+		if len(fr.Failures) > 0 {
+			os.Exit(1)
+		}
+		os.Exit(0)
 	}
 
 	if *replay != "" {

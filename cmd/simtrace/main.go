@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"dui/internal/audit"
+	"dui/internal/cli"
 )
 
 func main() {
@@ -29,7 +30,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: simtrace [-context N] [-quiet] A.jsonl B.jsonl\n")
 		flag.PrintDefaults()
 	}
-	flag.Parse()
+	cli.Parse("simtrace")
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)

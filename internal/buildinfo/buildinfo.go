@@ -1,0 +1,116 @@
+// Package buildinfo identifies the code version a binary was built from,
+// for two consumers: the `-version` flag every cmd/ binary carries (via
+// internal/cli), and the campaign result cache (internal/campaign), whose
+// keys must change whenever the code changes so a cached verdict is never
+// served across a code revision.
+//
+// The identity comes from runtime/debug.ReadBuildInfo: the main module's
+// version plus the VCS revision stamped by `go build` (suffixed ".dirty"
+// when the working tree had local modifications). Dev trees — `go test`
+// binaries and builds without VCS stamping — fall back to a stable FNV-1a
+// hash of the build settings, so the identifier is still deterministic for
+// a given toolchain and configuration, just not content-addressed to the
+// source. Cache correctness across source edits therefore relies on VCS
+// stamping; the fallback exists so dev-tree identifiers are stable rather
+// than empty.
+package buildinfo
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+)
+
+// Info is the resolved build identity.
+type Info struct {
+	// Module is the main module path ("dui" for this repository).
+	Module string
+	// ModuleVersion is the main module's version ("(devel)" in dev trees).
+	ModuleVersion string
+	// Revision identifies the source the binary was built from: the VCS
+	// commit hash (plus ".dirty" for a modified tree) when stamped, else
+	// "dev-<fnv64 of the build settings>". Never empty.
+	Revision string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get resolves the build identity once and returns it.
+func Get() Info {
+	once.Do(func() { cached = resolve(debug.ReadBuildInfo()) })
+	return cached
+}
+
+// resolve computes the Info from a (possibly absent) debug.BuildInfo.
+// Split from Get so tests can exercise the stamped and fallback paths.
+func resolve(bi *debug.BuildInfo, ok bool) Info {
+	info := Info{
+		Module:        "unknown",
+		ModuleVersion: "(devel)",
+		GoVersion:     runtime.Version(),
+	}
+	if !ok || bi == nil {
+		info.Revision = "dev-0000000000000000"
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.ModuleVersion = bi.Main.Version
+	}
+	var revision, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	switch {
+	case revision != "" && modified == "true":
+		info.Revision = revision + ".dirty"
+	case revision != "":
+		info.Revision = revision
+	default:
+		info.Revision = fmt.Sprintf("dev-%016x", settingsHash(bi))
+	}
+	return info
+}
+
+// settingsHash folds the build settings (sorted, so map-order never leaks
+// in), module identity, and toolchain into one FNV-1a 64 value — the
+// stable dev-tree fallback revision.
+func settingsHash(bi *debug.BuildInfo) uint64 {
+	lines := make([]string, 0, len(bi.Settings)+3)
+	lines = append(lines, bi.Main.Path, bi.Main.Version, runtime.Version())
+	for _, s := range bi.Settings {
+		lines = append(lines, s.Key+"="+s.Value)
+	}
+	sort.Strings(lines)
+	h := fnv.New64a()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+// Revision is shorthand for Get().Revision — the cache-key ingredient.
+func Revision() string { return Get().Revision }
+
+// String renders the identity for -version output, e.g.
+// "dui (devel) rev 1a2b3c4d.dirty go1.22.0".
+func String() string {
+	i := Get()
+	return fmt.Sprintf("%s %s rev %s %s", i.Module, i.ModuleVersion, i.Revision, i.GoVersion)
+}

@@ -1,0 +1,71 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// TestGetStable asserts the resolved identity is non-empty and stable
+// across calls — cache keys built from it must not wobble within a
+// process.
+func TestGetStable(t *testing.T) {
+	a, b := Get(), Get()
+	if a != b {
+		t.Fatalf("Get not stable: %+v vs %+v", a, b)
+	}
+	if a.Revision == "" || a.GoVersion == "" || a.Module == "" {
+		t.Fatalf("incomplete identity: %+v", a)
+	}
+	if !strings.Contains(String(), a.Revision) {
+		t.Fatalf("String() %q does not carry the revision %q", String(), a.Revision)
+	}
+}
+
+// TestResolveStamped covers the VCS-stamped path, including the dirty-tree
+// suffix.
+func TestResolveStamped(t *testing.T) {
+	bi := &debug.BuildInfo{
+		Main: debug.Module{Path: "dui", Version: "v1.2.3"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "abc123"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}
+	got := resolve(bi, true)
+	if got.Revision != "abc123.dirty" {
+		t.Fatalf("dirty revision = %q, want abc123.dirty", got.Revision)
+	}
+	bi.Settings[1].Value = "false"
+	if got := resolve(bi, true); got.Revision != "abc123" {
+		t.Fatalf("clean revision = %q, want abc123", got.Revision)
+	}
+	if got.Module != "dui" || got.ModuleVersion != "v1.2.3" {
+		t.Fatalf("module identity lost: %+v", got)
+	}
+}
+
+// TestResolveFallback covers dev trees: no VCS stamping yields a stable
+// dev-<hash> revision that changes with the build settings.
+func TestResolveFallback(t *testing.T) {
+	bi := &debug.BuildInfo{
+		Main: debug.Module{Path: "dui", Version: "(devel)"},
+		Settings: []debug.BuildSetting{
+			{Key: "-tags", Value: "netgo"},
+		},
+	}
+	a := resolve(bi, true)
+	if !strings.HasPrefix(a.Revision, "dev-") || len(a.Revision) != len("dev-")+16 {
+		t.Fatalf("fallback revision = %q, want dev-<16 hex>", a.Revision)
+	}
+	if b := resolve(bi, true); b.Revision != a.Revision {
+		t.Fatalf("fallback not stable: %q vs %q", a.Revision, b.Revision)
+	}
+	bi.Settings[0].Value = "othertags"
+	if c := resolve(bi, true); c.Revision == a.Revision {
+		t.Fatal("fallback revision ignores build settings")
+	}
+	if got := resolve(nil, false); got.Revision != "dev-0000000000000000" {
+		t.Fatalf("no-build-info revision = %q", got.Revision)
+	}
+}

@@ -1,0 +1,64 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is the content-addressed result store: one file per campaign Key
+// under a directory. Writes are atomic (temp file + rename), so a crashed
+// writer never leaves a torn result behind. Keys embed the code revision
+// (see Key), so a server rebuilt from different source naturally ignores
+// every result cached by the previous binary.
+type Cache struct {
+	dir string
+}
+
+// NewCache opens (creating if needed) the cache directory.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Get returns the cached result bytes for key, or ok=false on a miss.
+func (c *Cache) Get(key string) (data []byte, ok bool, err error) {
+	data, err = os.ReadFile(c.path(key))
+	switch {
+	case os.IsNotExist(err):
+		return nil, false, nil
+	case err != nil:
+		return nil, false, fmt.Errorf("campaign: cache: %w", err)
+	}
+	return data, true, nil
+}
+
+// Put stores result under key. The write is atomic: concurrent readers
+// see either the old entry or the complete new one, never a prefix.
+func (c *Cache) Put(key string, result []byte) error {
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: cache: %w", err)
+	}
+	if _, err := tmp.Write(result); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache: %w", err)
+	}
+	return nil
+}
+
+// path is the entry file for key.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

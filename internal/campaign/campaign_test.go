@@ -1,0 +1,87 @@
+package campaign_test
+
+import (
+	"strings"
+	"testing"
+
+	"dui/internal/campaign"
+)
+
+// TestCanonDefaults pins the canonical defaults of every kind: a bare
+// spec and a fully spelled-out default spec must canonicalize equal.
+func TestCanonDefaults(t *testing.T) {
+	fz, err := campaign.JobSpec{Kind: campaign.KindFuzz}.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fz.Fuzz.Seeds != 200 || fz.Fuzz.RootSeed != 1 {
+		t.Fatalf("fuzz defaults = %+v", fz.Fuzz)
+	}
+	ch, err := campaign.JobSpec{Kind: campaign.KindChaos}.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Chaos.Trials != 10 || ch.Chaos.Levels != 6 || ch.Chaos.RootSeed != 1 ||
+		ch.Chaos.FailAt != 20 || ch.Chaos.Duration != 45 {
+		t.Fatalf("chaos defaults = %+v", ch.Chaos)
+	}
+	ad, err := campaign.JobSpec{Kind: campaign.KindAdv}.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ad.Adv.Systems) != 3 || ad.Adv.Guarded != "both" || ad.Adv.Searcher != "cem" ||
+		ad.Adv.Seed != 1 || ad.Adv.Gens != 8 || ad.Adv.Pop != 24 || ad.Adv.Validate != 5 {
+		t.Fatalf("adv defaults = %+v", ad.Adv)
+	}
+}
+
+// TestCanonRejects pins the validation errors.
+func TestCanonRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec campaign.JobSpec
+		want string
+	}{
+		{"unknown kind", campaign.JobSpec{Kind: "nope"}, "unknown job kind"},
+		{"chaos one level", campaign.JobSpec{Kind: campaign.KindChaos,
+			Chaos: &campaign.ChaosSpec{Levels: 1}}, "levels >= 2"},
+		{"chaos fail after end", campaign.JobSpec{Kind: campaign.KindChaos,
+			Chaos: &campaign.ChaosSpec{FailAt: 50, Duration: 45}}, "fail_at < duration"},
+		{"adv unknown system", campaign.JobSpec{Kind: campaign.KindAdv,
+			Adv: &campaign.AdvSpec{Systems: []string{"ron"}}}, "unknown system"},
+		{"adv unknown guarded", campaign.JobSpec{Kind: campaign.KindAdv,
+			Adv: &campaign.AdvSpec{Guarded: "maybe"}}, "unknown guarded"},
+		{"empty scenario batch", campaign.JobSpec{Kind: campaign.KindScenarios},
+			"no scenarios"},
+	}
+	for _, c := range cases {
+		if _, err := c.spec.Canon(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestKeySpellingInvariance: two spellings of the same campaign share a
+// Key; changing any spec ingredient changes it.
+func TestKeySpellingInvariance(t *testing.T) {
+	bare, err := campaign.JobSpec{Kind: campaign.KindFuzz}.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spelled, err := campaign.JobSpec{Kind: campaign.KindFuzz,
+		Fuzz: &campaign.FuzzSpec{Seeds: 200, RootSeed: 1}}.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if campaign.Key(bare) != campaign.Key(spelled) {
+		t.Fatalf("default spellings hash apart: %s vs %s", campaign.Key(bare), campaign.Key(spelled))
+	}
+	reseeded, err := campaign.JobSpec{Kind: campaign.KindFuzz,
+		Fuzz: &campaign.FuzzSpec{Seeds: 200, RootSeed: 2}}.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if campaign.Key(bare) == campaign.Key(reseeded) {
+		t.Fatal("root seed does not reach the cache key")
+	}
+}

@@ -1,0 +1,169 @@
+package campaign_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dui/internal/campaign"
+	"dui/internal/fuzz"
+	"dui/internal/scenario"
+)
+
+// fuzzSpec is the small fuzzing campaign the execution tests share.
+func fuzzSpec(seeds int) campaign.JobSpec {
+	return campaign.JobSpec{Kind: campaign.KindFuzz,
+		Fuzz: &campaign.FuzzSpec{Seeds: seeds, RootSeed: 1, MaxNodes: 8}}
+}
+
+// mustExecute runs Execute and fails the test on error.
+func mustExecute(t *testing.T, spec campaign.JobSpec, env campaign.Env) []byte {
+	t.Helper()
+	out, err := campaign.Execute(context.Background(), spec, env)
+	if err != nil {
+		t.Fatalf("Execute(%+v): %v", env, err)
+	}
+	return out
+}
+
+// TestExecuteFuzzShardWorkerIndependence: the canonical result bytes of a
+// fuzz campaign are identical at any worker count, shard split, and shard
+// executor — including the subprocess-style external executor path.
+func TestExecuteFuzzShardWorkerIndependence(t *testing.T) {
+	spec := fuzzSpec(24)
+	want := mustExecute(t, spec, campaign.Env{Workers: 1, Shards: 1})
+
+	var res campaign.FuzzResult
+	if err := json.Unmarshal(want, &res); err != nil {
+		t.Fatalf("result does not parse as FuzzResult: %v", err)
+	}
+	if res.Kind != campaign.KindFuzz || res.Seeds != 24 {
+		t.Fatalf("result header = %+v", res)
+	}
+
+	if got := mustExecute(t, spec, campaign.Env{Workers: 4, Shards: 3}); !bytes.Equal(got, want) {
+		t.Error("workers=4 shards=3 diverged from workers=1 shards=1")
+	}
+	// The external-executor path (what duid -shard-procs uses), with the
+	// shards themselves running concurrently.
+	ext := func(ctx context.Context, req campaign.ShardRequest) ([]campaign.TrialRec, error) {
+		return campaign.RunShard(ctx, req)
+	}
+	got := mustExecute(t, spec, campaign.Env{Workers: 2, Shards: 5, ShardParallel: 3, RunShard: ext})
+	if !bytes.Equal(got, want) {
+		t.Error("external shard executor diverged from in-process execution")
+	}
+}
+
+// TestExecuteChaosShardWorkerIndependence: same contract for the chaos
+// kind (a reduced sweep, two intensity levels).
+func TestExecuteChaosShardWorkerIndependence(t *testing.T) {
+	spec := campaign.JobSpec{Kind: campaign.KindChaos,
+		Chaos: &campaign.ChaosSpec{Trials: 1, Levels: 2, RootSeed: 1, FailAt: 4, Duration: 9}}
+	want := mustExecute(t, spec, campaign.Env{Workers: 1, Shards: 1})
+	var res campaign.ChaosResult
+	if err := json.Unmarshal(want, &res); err != nil {
+		t.Fatalf("result does not parse as ChaosResult: %v", err)
+	}
+	if len(res.Rows) != 2 || res.Rows[1].Eps != 1 {
+		t.Fatalf("chaos rows = %+v", res.Rows)
+	}
+	if got := mustExecute(t, spec, campaign.Env{Workers: 2, Shards: 2}); !bytes.Equal(got, want) {
+		t.Error("chaos campaign diverged across workers/shards")
+	}
+}
+
+// TestExecuteScenariosKind: explicit scenario batches run under the full
+// oracle stack, worker-count independent.
+func TestExecuteScenariosKind(t *testing.T) {
+	scns := []scenario.Scenario{
+		*fuzz.Generate(11, fuzz.GenConfig{MaxNodes: 6}),
+		*fuzz.Generate(12, fuzz.GenConfig{MaxNodes: 6}),
+	}
+	spec := campaign.JobSpec{Kind: campaign.KindScenarios,
+		Scenarios: &campaign.ScenarioSpec{Scenarios: scns}}
+	want := mustExecute(t, spec, campaign.Env{Workers: 1})
+	var res campaign.ScenariosResult
+	if err := json.Unmarshal(want, &res); err != nil {
+		t.Fatalf("result does not parse as ScenariosResult: %v", err)
+	}
+	if res.Scenarios != 2 || len(res.Verdicts) != 2 {
+		t.Fatalf("scenario verdicts = %+v", res)
+	}
+	if got := mustExecute(t, spec, campaign.Env{Workers: 2, Shards: 2}); !bytes.Equal(got, want) {
+		t.Error("scenario batch diverged across workers/shards")
+	}
+}
+
+// TestExecuteAdvWorkerIndependence: the adv kind (one indivisible trial,
+// internally parallel) returns identical bytes at any worker count.
+func TestExecuteAdvWorkerIndependence(t *testing.T) {
+	spec := campaign.JobSpec{Kind: campaign.KindAdv,
+		Adv: &campaign.AdvSpec{Systems: []string{"blink"}, Guarded: "off",
+			Seed: 1, Gens: 1, Pop: 4, Validate: 1, Quick: true}}
+	want := mustExecute(t, spec, campaign.Env{Workers: 1})
+	var res campaign.AdvResult
+	if err := json.Unmarshal(want, &res); err != nil {
+		t.Fatalf("result does not parse as AdvResult: %v", err)
+	}
+	if len(res.Systems) != 1 || res.Systems[0].System != "blink" {
+		t.Fatalf("adv systems = %+v", res.Systems)
+	}
+	if got := mustExecute(t, spec, campaign.Env{Workers: 3}); !bytes.Equal(got, want) {
+		t.Error("adv search diverged across worker counts")
+	}
+}
+
+// TestExecuteJournalResume: a campaign killed mid-run (simulated by
+// context cancellation) resumes from its journal to byte-identical
+// results, replaying journaled trials instead of re-running them.
+func TestExecuteJournalResume(t *testing.T) {
+	spec := fuzzSpec(16)
+	want := mustExecute(t, spec, campaign.Env{Workers: 2})
+
+	jpath := filepath.Join(t.TempDir(), "job.journal")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var seen atomic.Int64
+	_, err := campaign.Execute(ctx, spec, campaign.Env{Workers: 2, Journal: jpath,
+		OnProgress: func(p campaign.Progress) {
+			if seen.Add(1) == 6 {
+				cancel() // die mid-campaign
+			}
+		}})
+	if err == nil {
+		t.Fatal("canceled campaign reported success")
+	}
+
+	var first campaign.Progress
+	got, err := campaign.Execute(context.Background(), spec, campaign.Env{Workers: 2, Journal: jpath,
+		OnProgress: func(p campaign.Progress) {
+			if first.Total == 0 {
+				first = p
+			}
+		}})
+	if err != nil {
+		t.Fatalf("resumed campaign: %v", err)
+	}
+	if first.Resumed == 0 {
+		t.Error("resumed campaign replayed no journaled trials")
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("resumed campaign diverged from uninterrupted run")
+	}
+}
+
+// TestExecuteJournalRejectsForeignJob: a journal written for one campaign
+// key cannot be resumed under another.
+func TestExecuteJournalRejectsForeignJob(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "job.journal")
+	mustExecute(t, fuzzSpec(2), campaign.Env{Workers: 1, Journal: jpath})
+	_, err := campaign.Execute(context.Background(), fuzzSpec(3), campaign.Env{Workers: 1, Journal: jpath})
+	if err == nil || !strings.Contains(err.Error(), "different job") {
+		t.Fatalf("foreign journal accepted: err = %v", err)
+	}
+}

@@ -1,0 +1,36 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+
+	"dui/internal/campaign"
+)
+
+// DispatchCampaign runs a campaign spec inline or — when server is
+// non-empty — through the duid server at that URL, and returns the
+// canonical result bytes. The two paths are byte-identical by
+// construction (see internal/campaign.Dispatch); this helper only adds
+// the drivers' shared stderr progress reporting, printed every 50
+// completed trials unless quiet.
+func DispatchCampaign(ctx context.Context, tool, server string, spec campaign.JobSpec, workers int, quiet bool) ([]byte, error) {
+	var onProgress func(campaign.Progress)
+	if !quiet {
+		var mu sync.Mutex
+		lastDone := -1
+		onProgress = func(p campaign.Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			if p.Done == lastDone || (p.Done%50 != 0 && p.Done != p.Total) {
+				return
+			}
+			lastDone = p.Done
+			fmt.Fprintf(os.Stderr, "%s: %d/%d trials\n", tool, p.Done, p.Total)
+		}
+	}
+	return campaign.Dispatch(ctx, spec, campaign.DispatchOpts{
+		Server: server, Workers: workers, OnProgress: onProgress,
+	})
+}

@@ -1,24 +1,23 @@
 package fuzz
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
-	"os"
 	"sync"
 
 	"dui/internal/audit"
+	"dui/internal/journal"
 )
 
-// Checkpoint file format: JSON Lines. The first line is a header binding
-// the file to one campaign configuration; every following line records one
-// completed trial's verdict. A resumed campaign replays recorded verdicts
-// instead of re-running their trials, and because each trial's outcome is
-// a pure function of (RootSeed, trial index, Gen), the stitched-together
-// campaign verdict is identical to an uninterrupted run's. A torn final
-// line (the process died mid-append) is ignored; any earlier corruption is
-// an error.
+// Checkpoint file format: the shared internal/journal JSONL discipline.
+// The header line binds the file to one campaign configuration; every
+// following line records one completed trial's verdict. A resumed
+// campaign replays recorded verdicts instead of re-running their trials,
+// and because each trial's outcome is a pure function of (RootSeed, trial
+// index, Gen), the stitched-together campaign verdict is identical to an
+// uninterrupted run's. Torn-final-line tolerance and corruption rejection
+// come from the journal package; the same format, generalized, backs the
+// campaign service's job journals (internal/campaign).
 
 const (
 	checkpointMagic   = "dui-fuzz-checkpoint"
@@ -40,10 +39,10 @@ type checkpointRecord struct {
 }
 
 // checkpoint is the live handle: the verdicts loaded at open time (read-only
-// once workers start) and the append-side file.
+// once workers start) and the append-side journal.
 type checkpoint struct {
 	mu   sync.Mutex
-	f    *os.File
+	j    *journal.F
 	done map[int]checkpointRecord
 }
 
@@ -52,66 +51,37 @@ type checkpoint struct {
 // header — resuming under a different root seed, trial count, or generator
 // config would stitch incompatible verdicts together.
 func openCheckpoint(path string, hdr checkpointHeader) (*checkpoint, error) {
-	cp := &checkpoint{done: map[int]checkpointRecord{}}
-	data, err := os.ReadFile(path)
-	switch {
-	case os.IsNotExist(err) || (err == nil && len(data) == 0):
-		// Fresh campaign: write the header first.
-	case err != nil:
-		return nil, fmt.Errorf("fuzz: checkpoint %s: %w", path, err)
-	default:
-		lines := bytes.Split(data, []byte("\n"))
+	check := func(raw []byte) error {
 		var got checkpointHeader
-		if err := json.Unmarshal(lines[0], &got); err != nil || got.Magic != checkpointMagic {
-			return nil, fmt.Errorf("fuzz: checkpoint %s: not a checkpoint file", path)
+		if err := json.Unmarshal(raw, &got); err != nil || got.Magic != checkpointMagic {
+			return fmt.Errorf("fuzz: checkpoint %s: not a checkpoint file", path)
 		}
 		if got.Version != checkpointVersion {
-			return nil, fmt.Errorf("fuzz: checkpoint %s: version %d (want %d)", path, got.Version, checkpointVersion)
+			return fmt.Errorf("fuzz: checkpoint %s: version %d (want %d)", path, got.Version, checkpointVersion)
 		}
 		if got.RootSeed != hdr.RootSeed || got.Seeds != hdr.Seeds || got.Gen != hdr.Gen {
-			return nil, fmt.Errorf("fuzz: checkpoint %s was written by a different campaign (root_seed=%d seeds=%d); use a fresh file or matching flags",
+			return fmt.Errorf("fuzz: checkpoint %s was written by a different campaign (root_seed=%d seeds=%d); use a fresh file or matching flags",
 				path, got.RootSeed, got.Seeds)
 		}
-		for i := 1; i < len(lines); i++ {
-			line := bytes.TrimSpace(lines[i])
-			if len(line) == 0 {
-				continue
-			}
-			var rec checkpointRecord
-			if err := json.Unmarshal(line, &rec); err != nil {
-				if i == len(lines)-1 {
-					break // torn final append from a killed run
-				}
-				return nil, fmt.Errorf("fuzz: checkpoint %s: corrupt record on line %d: %v", path, i+1, err)
-			}
-			if rec.Trial < 0 || rec.Trial >= hdr.Seeds {
-				return nil, fmt.Errorf("fuzz: checkpoint %s: trial %d out of range on line %d", path, rec.Trial, i+1)
-			}
-			cp.done[rec.Trial] = rec
-		}
-		cp.f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return nil, fmt.Errorf("fuzz: checkpoint %s: %w", path, err)
-		}
-		return cp, nil
+		return nil
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	j, recs, err := journal.Open(path, hdr, check)
 	if err != nil {
-		return nil, fmt.Errorf("fuzz: checkpoint %s: %w", path, err)
-	}
-	w := bufio.NewWriter(f)
-	enc, err := json.Marshal(hdr)
-	if err != nil {
-		f.Close()
 		return nil, err
 	}
-	w.Write(enc)
-	w.WriteByte('\n')
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("fuzz: checkpoint %s: %w", path, err)
+	cp := &checkpoint{j: j, done: map[int]checkpointRecord{}}
+	for i, raw := range recs {
+		var rec checkpointRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			j.Close()
+			return nil, fmt.Errorf("fuzz: checkpoint %s: corrupt record %d: %v", path, i+1, err)
+		}
+		if rec.Trial < 0 || rec.Trial >= hdr.Seeds {
+			j.Close()
+			return nil, fmt.Errorf("fuzz: checkpoint %s: trial %d out of range in record %d", path, rec.Trial, i+1)
+		}
+		cp.done[rec.Trial] = rec
 	}
-	cp.f = f
 	return cp, nil
 }
 
@@ -122,22 +92,17 @@ func (cp *checkpoint) lookup(i int) (checkpointRecord, bool) {
 	return rec, ok
 }
 
-// record appends one completed trial. Appends are serialized and written
-// as one line each; a kill between lines loses at most the in-flight
-// trials, which the resumed campaign simply re-runs.
+// record appends one completed trial. Appends serialize in the journal
+// and are written as one line each; a kill between lines loses at most
+// the in-flight trials, which the resumed campaign simply re-runs. Write
+// errors are deliberately swallowed — a failing checkpoint disk must not
+// poison a running campaign's verdict.
 func (cp *checkpoint) record(rec checkpointRecord) {
-	enc, err := json.Marshal(rec)
-	if err != nil {
-		return
-	}
-	cp.mu.Lock()
-	defer cp.mu.Unlock()
-	cp.f.Write(enc)
-	cp.f.Write([]byte("\n"))
+	cp.j.Append(rec)
 }
 
 func (cp *checkpoint) close() {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
-	cp.f.Close()
+	cp.j.Close()
 }

@@ -112,7 +112,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	outcomes, err := runner.Run(runCtx, cfg.Seeds, cfg.RootSeed, runner.Config{
 		Workers:    cfg.Workers,
 		OnProgress: cfg.OnProgress,
-	}, func(_ context.Context, t runner.Trial) (trialOutcome, error) {
+	}, func(ctx context.Context, t runner.Trial) (trialOutcome, error) {
+		// A cancel can land between the runner's dispatch check and this
+		// point; bail before paying for a full double-run simulation.
+		if ctx.Err() != nil {
+			return trialOutcome{}, nil
+		}
 		if cp != nil {
 			if rec, ok := cp.lookup(t.Index); ok {
 				return trialOutcome{ran: true, resumed: true, seed: rec.Seed, violations: rec.Violations}, nil
@@ -165,7 +170,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			fmt.Fprintf(cfg.Log, "FAIL trial=%d seed=%#x rule=%s (%s): %v\n",
 				i, f.Seed, f.Rule, f.Scenario.Size(), out.violations[0])
 		}
-		if cfg.Shrink {
+		// Shrinking is minutes of candidate runs per failure: a canceled
+		// campaign (the process being told to stop) skips it and returns
+		// promptly, while a merely budget-stopped one still shrinks what
+		// it found — the budget bounds trial dispatch, not reporting.
+		if cfg.Shrink && ctx.Err() == nil {
 			shrunk, runs := Shrink(out.scn, f.Rule, cfg.ShrinkBudget)
 			f.Shrunk = shrunk
 			f.ShrinkRuns = runs

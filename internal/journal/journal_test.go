@@ -1,0 +1,188 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type testHdr struct {
+	Magic string `json:"magic"`
+	Seed  uint64 `json:"seed"`
+}
+
+type testRec struct {
+	N int `json:"n"`
+}
+
+// checkHdr accepts only headers matching want.
+func checkHdr(want testHdr) func([]byte) error {
+	return func(raw []byte) error {
+		var got testHdr
+		if err := json.Unmarshal(raw, &got); err != nil || got.Magic != want.Magic {
+			return fmt.Errorf("not a test journal")
+		}
+		if got != want {
+			return fmt.Errorf("journal written by a different configuration: %+v", got)
+		}
+		return nil
+	}
+}
+
+// TestRoundTrip writes records, reopens, and recovers them in order.
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	hdr := testHdr{Magic: "m", Seed: 7}
+	j, recs, err := Open(path, hdr, checkHdr(hdr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal returned %d records", len(recs))
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(testRec{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	_, recs, err = Open(path, hdr, checkHdr(hdr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("recovered %d records, want 5", len(recs))
+	}
+	for i, raw := range recs {
+		var r testRec
+		if err := json.Unmarshal(raw, &r); err != nil || r.N != i {
+			t.Fatalf("record %d = %s (err %v)", i, raw, err)
+		}
+	}
+}
+
+// TestTornFinalLine drops a half-written last record but keeps everything
+// before it.
+func TestTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	hdr := testHdr{Magic: "m"}
+	j, _, err := Open(path, hdr, checkHdr(hdr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(testRec{N: 0})
+	j.Append(testRec{N: 1})
+	j.Close()
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString(`{"n":2`) // the kill landed mid-append
+	f.Close()
+
+	_, recs, err := Open(path, hdr, checkHdr(hdr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2 (torn line dropped)", len(recs))
+	}
+}
+
+// TestEarlierCorruptionIsError refuses journals damaged anywhere but the
+// final line.
+func TestEarlierCorruptionIsError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	hdr := testHdr{Magic: "m"}
+	j, _, err := Open(path, hdr, checkHdr(hdr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(testRec{N: 0})
+	j.Close()
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString("{broken\n")
+	f.WriteString(`{"n":2}` + "\n")
+	f.Close()
+
+	if _, _, err := Open(path, hdr, checkHdr(hdr)); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("mid-file corruption not rejected: %v", err)
+	}
+}
+
+// TestHeaderMismatchRejected refuses resuming under a different
+// configuration.
+func TestHeaderMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _, err := Open(path, testHdr{Magic: "m", Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, _, err := Open(path, testHdr{Magic: "m", Seed: 2}, checkHdr(testHdr{Magic: "m", Seed: 2})); err == nil {
+		t.Fatal("mismatched header accepted")
+	}
+}
+
+// TestConcurrentAppendsSerialize is the concurrent-appender contract: many
+// goroutines appending at once must serialize — after recovery every
+// record parses and all are present. Run under -race this also proves the
+// locking discipline.
+func TestConcurrentAppendsSerialize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	hdr := testHdr{Magic: "m"}
+	j, _, err := Open(path, hdr, checkHdr(hdr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := j.Append(testRec{N: w*per + i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	j.Close()
+
+	_, recs, err := Open(path, hdr, checkHdr(hdr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != writers*per {
+		t.Fatalf("recovered %d records, want %d", len(recs), writers*per)
+	}
+	seen := map[int]bool{}
+	for _, raw := range recs {
+		var r testRec
+		if err := json.Unmarshal(raw, &r); err != nil {
+			t.Fatalf("interleaved record: %s", raw)
+		}
+		if seen[r.N] {
+			t.Fatalf("duplicate record %d", r.N)
+		}
+		seen[r.N] = true
+	}
+}
+
+// TestAppendAfterCloseFails pins the fail-loudly side of the contract.
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _, err := Open(path, testHdr{Magic: "m"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Append(testRec{N: 1}); err == nil {
+		t.Fatal("append after close did not error")
+	}
+}

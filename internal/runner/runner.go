@@ -129,7 +129,12 @@ func Run[T any](ctx context.Context, n int, root uint64, cfg Config, fn func(ctx
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			// Cancellation latency contract: the context is re-checked
+			// between every pair of trials, so a canceled run stops
+			// dispatching before the next trial starts — it never drains
+			// the remaining queue. Only trials already in flight (at most
+			// one per worker) run to completion.
+			for ctx.Err() == nil {
 				i := int(next.Add(1))
 				if i >= n || ctx.Err() != nil {
 					return

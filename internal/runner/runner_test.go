@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -98,6 +99,43 @@ func TestRunHonorsParentCancellation(t *testing.T) {
 	}
 	if started != 0 {
 		t.Fatalf("%d trials ran under a cancelled context", started)
+	}
+}
+
+// TestCancelStopsDispatchBeforeNextTrial is the cancellation-latency
+// contract: once the context is canceled, no further trial starts — in
+// particular a canceled 1000-trial run must NOT drain the remaining
+// queue. Only trials already in flight when the cancel landed (at most
+// one per worker, plus a scheduling-race handful) may still run to
+// completion.
+func TestCancelStopsDispatchBeforeNextTrial(t *testing.T) {
+	const n, workers, cancelAt = 1000, 4, 8
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started, done atomic.Int64
+	start := time.Now()
+	_, err := Run(ctx, n, 1, Config{Workers: workers},
+		func(_ context.Context, tr Trial) (int, error) {
+			started.Add(1)
+			time.Sleep(2 * time.Millisecond)
+			if done.Add(1) == cancelAt {
+				cancel()
+			}
+			return tr.Index, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A full run is n trials of 2 ms spread over `workers` workers
+	// (~500 ms); stopping dispatch promptly means only the in-flight
+	// trials finish after the cancel. The generous bound still fails
+	// decisively if cancellation drains the queue.
+	if s := started.Load(); s > cancelAt+4*workers {
+		t.Fatalf("%d trials started after cancel at %d — dispatch did not stop", s, cancelAt)
+	}
+	full := n / workers * 2 * time.Millisecond
+	if el := time.Since(start); el > full/4 {
+		t.Fatalf("canceled run took %v, not well under the ~%v full-run time", el, full)
 	}
 }
 
