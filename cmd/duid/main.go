@@ -91,15 +91,21 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		// Graceful stop: in-flight jobs are abandoned non-terminally and
-		// resume on the next start (kill -9 gets the same guarantee from
-		// the journals alone).
+		// Graceful stop: close the campaign layer first — canceling its
+		// context aborts in-flight jobs non-terminally (they resume on the
+		// next start; kill -9 gets the same guarantee from the journals
+		// alone) and unblocks SSE and long-poll handlers, which otherwise
+		// keep their connections open and stall Shutdown until the
+		// watched job finishes.
+		srv.Close()
 		httpSrv.Shutdown(context.Background())
 	}()
 	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "duid: %v\n", err)
 		os.Exit(2)
 	}
+	// A second Close after the signal path is a no-op; this covers the
+	// Shutdown-without-signal path (e.g. tests driving Serve directly).
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "duid: %v\n", err)
 		os.Exit(2)

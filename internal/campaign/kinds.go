@@ -116,9 +116,14 @@ var fuzzOps = ops{
 			for _, v := range rec.Violations {
 				f.Violations = append(f.Violations, v.Error())
 			}
-			// As in internal/fuzz: a canceled campaign skips shrinking and
-			// returns promptly; shrinking itself is deterministic.
-			if s.Fuzz.Shrink && ctx.Err() == nil {
+			// Shrinking can run for minutes, so a cancel mid-phase must
+			// surface as an error: returning unshrunk bytes with a nil
+			// error would let the server cache a non-canonical result
+			// under the job's content address forever.
+			if s.Fuzz.Shrink {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				f.Shrunk, f.ShrinkRuns = fuzz.Shrink(scn, f.Rule, s.Fuzz.ShrinkBudget)
 			}
 			res.Failures = append(res.Failures, f)

@@ -1,0 +1,42 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"dui/internal/audit"
+)
+
+// TestFuzzAssembleCanceledDuringShrink: a cancel that lands in the shrink
+// phase must surface as an error, never as a result — Execute's caller
+// (the campaign server) caches whatever assemble returns under the job's
+// content address, and unshrunk bytes cached there would be served for
+// every future identical submission.
+func TestFuzzAssembleCanceledDuringShrink(t *testing.T) {
+	canon, err := JobSpec{Kind: KindFuzz,
+		Fuzz: &FuzzSpec{Seeds: 1, RootSeed: 1, MaxNodes: 8, Shrink: true}}.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := json.Marshal(fuzzRec{Seed: 1,
+		Violations: []audit.Violation{{Rule: audit.RuleOccupancy, Detail: "x"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fuzzOps.assemble(ctx, canon, [][]byte{rec}); err == nil {
+		t.Fatal("canceled assemble returned a cacheable result instead of an error")
+	}
+
+	res, err := fuzzOps.assemble(context.Background(), canon, [][]byte{rec})
+	if err != nil {
+		t.Fatalf("uncanceled assemble: %v", err)
+	}
+	fr := res.(FuzzResult)
+	if len(fr.Failures) != 1 || fr.Failures[0].Shrunk == nil {
+		t.Fatalf("uncanceled assemble did not shrink: %+v", fr.Failures)
+	}
+}

@@ -76,10 +76,11 @@ func NewServer(dir string, opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the schedulers and closes the store. In-flight jobs are
-// abandoned without a terminal record, so the next Server over the same
-// directory re-queues and resumes them — the same path a kill -9 takes,
-// minus the torn final journal line.
+// Close stops the schedulers, unblocks every SSE and long-poll handler,
+// and closes the store. In-flight jobs are abandoned without a terminal
+// record, so the next Server over the same directory re-queues and
+// resumes them — the same path a kill -9 takes, minus the torn final
+// journal line. Close is idempotent.
 func (s *Server) Close() error {
 	s.cancel()
 	s.wg.Wait()

@@ -260,11 +260,18 @@ func (st *Store) MarkCanceled(id string) {
 func (st *Store) terminal(id string, state JobState, cached bool, msg string) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	jb, ok := st.jobs[id]
-	if !ok || jb.status.State.Terminal() {
+	if jb, ok := st.jobs[id]; ok {
+		st.terminalLocked(jb, state, cached, msg)
+	}
+}
+
+// terminalLocked journals and applies a terminal transition. Callers
+// hold mu.
+func (st *Store) terminalLocked(jb *job, state JobState, cached bool, msg string) {
+	if jb.status.State.Terminal() {
 		return
 	}
-	st.j.Append(storeRec{Op: "state", ID: id, State: state, Cached: cached, Error: msg})
+	st.j.Append(storeRec{Op: "state", ID: jb.status.ID, State: state, Cached: cached, Error: msg})
 	jb.status.State = state
 	jb.status.Cached = cached
 	jb.status.Error = msg
@@ -280,22 +287,22 @@ func (st *Store) terminal(id string, state JobState, cached bool, msg string) {
 // executor unwinds. found=false for unknown ids.
 func (st *Store) RequestCancel(id string) (JobStatus, bool) {
 	st.mu.Lock()
+	defer st.mu.Unlock()
 	jb, ok := st.jobs[id]
 	if !ok {
-		st.mu.Unlock()
 		return JobStatus{}, false
 	}
 	jb.cancelRequested = true
-	cancel := jb.cancel
-	queued := jb.status.State == JobQueued
-	st.mu.Unlock()
-	if queued {
-		st.MarkCanceled(id)
-	} else if cancel != nil {
-		cancel()
+	// The whole transition happens under mu so a concurrent Claim cannot
+	// slip between the state read and the action — a queued job goes
+	// terminal here; a claimed one has its stored cancel func fired and
+	// goes terminal when the executor unwinds.
+	if jb.status.State == JobQueued {
+		st.terminalLocked(jb, JobCanceled, false, "")
+	} else if jb.cancel != nil {
+		jb.cancel()
 	}
-	got, _ := st.Get(id)
-	return got, true
+	return jb.status, true
 }
 
 // CancelRequested reports whether an API cancel was requested for id —

@@ -1,0 +1,83 @@
+package campaign_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"dui/internal/campaign"
+)
+
+// TestRequestCancelQueuedJob: canceling a queued job is terminal
+// immediately and survives a store reopen.
+func TestRequestCancelQueuedJob(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	st, err := campaign.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := st.Submit(fuzzSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, found := st.RequestCancel(job.ID)
+	if !found || got.State != campaign.JobCanceled {
+		t.Fatalf("RequestCancel = %+v, %v", got, found)
+	}
+	st.Close()
+
+	st, err = campaign.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got, _ := st.Get(job.ID); got.State != campaign.JobCanceled {
+		t.Fatalf("state after reopen = %s", got.State)
+	}
+}
+
+// TestRequestCancelClaimedJob: canceling a job the scheduler has already
+// claimed must NOT journal a terminal state — the executor owns that
+// transition — but must fire the job context so the executor unwinds. A
+// cancel that instead marked the job canceled while the executor kept a
+// live context would let the full campaign run (and cache its result)
+// under a canceled status.
+func TestRequestCancelClaimedJob(t *testing.T) {
+	st, err := campaign.OpenStore(filepath.Join(t.TempDir(), "jobs.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	job, err := st.Submit(fuzzSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	claimed, _, ok := st.Claim(cancel)
+	if !ok || claimed.ID != job.ID {
+		t.Fatalf("Claim = %+v, %v", claimed, ok)
+	}
+
+	got, found := st.RequestCancel(job.ID)
+	if !found {
+		t.Fatal("RequestCancel: job not found")
+	}
+	if got.State != campaign.JobRunning {
+		t.Fatalf("claimed job jumped to %s; the executor owns the terminal transition", got.State)
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("cancel request did not fire the claimed job's context")
+	}
+	if !st.CancelRequested(job.ID) {
+		t.Fatal("CancelRequested = false after an API cancel")
+	}
+
+	// The executor unwinds on the canceled context and records the
+	// terminal state.
+	st.MarkCanceled(job.ID)
+	if got, _ := st.Get(job.ID); got.State != campaign.JobCanceled {
+		t.Fatalf("state after executor unwind = %s", got.State)
+	}
+}

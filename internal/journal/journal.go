@@ -47,7 +47,8 @@ type F struct {
 // first line is passed to check — return an error to reject a journal
 // written under an incompatible configuration — and every following
 // well-formed line is returned in file order. A torn final line is
-// dropped; earlier corruption is an error.
+// dropped and truncated away, so later appends start on a clean line
+// boundary; earlier corruption is an error.
 func Open(path string, hdr any, check func(header []byte) error) (*F, [][]byte, error) {
 	data, err := os.ReadFile(path)
 	switch {
@@ -58,25 +59,42 @@ func Open(path string, hdr any, check func(header []byte) error) (*F, [][]byte, 
 		return nil, nil, fmt.Errorf("journal %s: %w", path, err)
 	}
 
+	if bytes.IndexByte(data, '\n') < 0 {
+		// No newline-terminated header: the process died inside create().
+		// Nothing durable was ever recorded, so start fresh rather than
+		// appending onto (or choking on) the partial header bytes.
+		f, err := create(path, hdr)
+		return f, nil, err
+	}
 	lines := bytes.Split(data, []byte("\n"))
 	if check != nil {
 		if err := check(lines[0]); err != nil {
 			return nil, nil, err
 		}
 	}
+	// Every Split element but the last is newline-terminated; the last is
+	// empty when the file ends cleanly, or the torn fragment of an append
+	// the process died inside.
+	last := len(lines) - 1
 	var recs [][]byte
-	for i := 1; i < len(lines); i++ {
+	for i := 1; i < last; i++ {
 		line := bytes.TrimSpace(lines[i])
 		if len(line) == 0 {
 			continue
 		}
 		if !json.Valid(line) {
-			if i == len(lines)-1 {
-				break // torn final append from a killed process
-			}
 			return nil, nil, fmt.Errorf("journal %s: corrupt record on line %d", path, i+1)
 		}
 		recs = append(recs, line)
+	}
+	if frag := lines[last]; len(frag) > 0 {
+		// Torn final append from a killed process: drop the fragment and
+		// truncate it away so the next Append starts on a clean line
+		// boundary — appending onto the partial bytes would plant a
+		// corrupt mid-file record that bricks every subsequent Open.
+		if err := os.Truncate(path, int64(len(data)-len(frag))); err != nil {
+			return nil, nil, fmt.Errorf("journal %s: %w", path, err)
+		}
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {

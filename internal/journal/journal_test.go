@@ -91,6 +91,79 @@ func TestTornFinalLine(t *testing.T) {
 	}
 }
 
+// TestAppendAfterTornRecovery: recovery truncates the torn fragment so a
+// post-recovery append lands on a clean line boundary. Without the
+// truncate, the new record concatenates onto the partial bytes, planting
+// a corrupt mid-file record that bricks every later Open — the exact
+// kill -9 → resume → append path the campaign journals live on.
+func TestAppendAfterTornRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	hdr := testHdr{Magic: "m"}
+	j, _, err := Open(path, hdr, checkHdr(hdr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(testRec{N: 0})
+	j.Close()
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString(`{"n":1`) // the kill landed mid-append
+	f.Close()
+
+	j, recs, err := Open(path, hdr, checkHdr(hdr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records, want 1", len(recs))
+	}
+	if err := j.Append(testRec{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, recs, err = Open(path, hdr, checkHdr(hdr))
+	if err != nil {
+		t.Fatalf("journal bricked by the post-recovery append: %v", err)
+	}
+	want := []int{0, 2}
+	if len(recs) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(recs), len(want))
+	}
+	for i, raw := range recs {
+		var r testRec
+		if err := json.Unmarshal(raw, &r); err != nil || r.N != want[i] {
+			t.Fatalf("record %d = %s (err %v), want n=%d", i, raw, err, want[i])
+		}
+	}
+}
+
+// TestTornHeaderStartsFresh: a file killed inside create() — no
+// newline-terminated header — recorded nothing durable, so Open starts
+// it over rather than appending onto the partial header bytes.
+func TestTornHeaderStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	hdr := testHdr{Magic: "m"}
+	os.WriteFile(path, []byte(`{"magic":"m"`), 0o644)
+
+	j, recs, err := Open(path, hdr, checkHdr(hdr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("torn-header journal returned %d records", len(recs))
+	}
+	j.Append(testRec{N: 1})
+	j.Close()
+
+	_, recs, err = Open(path, hdr, checkHdr(hdr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records, want 1", len(recs))
+	}
+}
+
 // TestEarlierCorruptionIsError refuses journals damaged anywhere but the
 // final line.
 func TestEarlierCorruptionIsError(t *testing.T) {
