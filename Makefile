@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race audit bench bench-smoke bench-gate pop-smoke fuzz-smoke chaos-smoke advsearch-smoke duid-smoke report
+.PHONY: check vet build test race audit bench bench-smoke bench-gate pop-smoke fuzz-smoke chaos-smoke advsearch-smoke duid-smoke robustness-smoke report
 
 ## check: the full gate — vet, build, race-enabled tests.
 check: vet build race
@@ -85,6 +85,14 @@ advsearch-smoke:
 ## served from the result cache without re-execution.
 duid-smoke:
 	./scripts/duid_smoke.sh
+
+## robustness-smoke: the robustness-matrix determinism gate — the quick
+## matrix run inline on 1 and 4 workers and via a duid server must be
+## byte-identical (cmp), the resubmission must hit the result cache, and
+## cmd/robustness -defense-eval must match cmd/defense-eval byte for
+## byte. Leaves the matrix JSON at robustness-matrix.json (CI artifact).
+robustness-smoke:
+	./scripts/robustness_smoke.sh
 
 ## report: regenerate the full reproduction report on all cores.
 report:

@@ -4,20 +4,20 @@
 // the botnet, and the PCC loss-correlation detector plus the ε-range
 // clamp against the equalizer.
 //
+// The report body now lives in internal/robustness (the full matrix
+// driver, cmd/robustness, subsumes these three point evaluations and
+// renders the same report under -defense-eval); this command remains as
+// a byte-identical alias.
+//
 // The three sections are independent; -parallel N evaluates them
 // concurrently on the trial runner (output order is unchanged).
 package main
 
 import (
-	"context"
-	"fmt"
-	"strings"
+	"os"
 
-	"dui"
-	"dui/internal/blink"
 	"dui/internal/cli"
-	"dui/internal/pytheas"
-	"dui/internal/runner"
+	"dui/internal/robustness"
 )
 
 func main() {
@@ -26,84 +26,5 @@ func main() {
 		parallel = cli.Parallel("section workers (0 = all cores; output identical at any setting)")
 	)
 	cli.Parse("defense-eval")
-
-	fmt.Printf("§5 countermeasure evaluation\n")
-
-	sections := []func(seed uint64) string{blinkSection, pytheasSection, pccSection}
-	outputs, _ := runner.Map(context.Background(), sections, *seed, runner.Config{Workers: *parallel},
-		func(_ context.Context, t runner.Trial, section func(uint64) string) (string, error) {
-			return section(*seed), nil
-		})
-	for _, out := range outputs {
-		fmt.Print(out)
-	}
-}
-
-// blinkSection evaluates the RTO-plausibility supervisor.
-func blinkSection(seed uint64) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "\n[Blink supervisor] model trained from passively measured RTTs\n")
-	clean := dui.RunFailover(dui.FailoverConfig{FailAt: 0, Duration: 20})
-	model := dui.NewRTOModel(clean.SRTTs, 0.2)
-	hook := func(p *blink.Pipeline) { dui.GuardPipeline(p, model) }
-
-	genuine := dui.RunFailover(dui.FailoverConfig{FailAt: 20, Duration: 45, Hook: hook})
-	fmt.Fprintf(&b, "  genuine failure:  rerouted=%v latency=%.2fs vetoes=%d recovered=%d/%d\n",
-		genuine.Rerouted, genuine.DetectionLatency, genuine.VetoedReroutes,
-		genuine.RecoveredFlows, genuine.Config.Flows)
-	attack := dui.RunHijack(dui.HijackConfig{Seed: seed, Hook: hook})
-	fmt.Fprintf(&b, "  hijack attempt:   rerouted=%v vetoes=%d hijacked packets=%d (attacker held %d cells)\n",
-		attack.Rerouted, attack.VetoedReroutes, attack.HijackedPackets, attack.MaliciousCellsAtTrigger)
-	return b.String()
-}
-
-// pytheasSection evaluates dedup + distribution filtering.
-func pytheasSection(seed uint64) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "\n[Pytheas defense] 15%% botnet with 5x report volume\n")
-	base := dui.PytheasConfig{Seed: seed}
-	atk := pytheas.Poison{Bots: 150, ReportMultiplier: 5}.Defaults()
-	vuln := dui.RunPytheas(base, atk)
-	defended := base
-	defended.E2.Aggregate = pytheas.MADFiltered(3)
-	defended.DedupReports = true
-	prot := dui.RunPytheas(defended, atk)
-	noatk := dui.RunPytheas(base, nil)
-	fmt.Fprintf(&b, "  clean QoE %.2f | attacked (mean agg) %.2f | defended (dedup+MAD) %.2f\n",
-		noatk.HonestQoELate, vuln.HonestQoELate, prot.HonestQoELate)
-	// The detector view.
-	v := dui.GroupReportCheck(poisonedWindow(), 4)
-	fmt.Fprintf(&b, "  group-distribution detector on a poisoned window: %s\n", v)
-	return b.String()
-}
-
-// pccSection evaluates the detector + epsilon clamp.
-func pccSection(seed uint64) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "\n[PCC defense]\n")
-	runs := dui.OscSweep([]dui.OscConfig{
-		{Duration: 90, Seed: seed},
-		{Duration: 90, Seed: seed, Attack: true},
-	}, 0)
-	cleanPCC, attacked := runs[0], runs[1]
-	fmt.Fprintf(&b, "  loss-correlation detector: clean=%s\n", dui.PCCLossCorrelation(cleanPCC.Records))
-	fmt.Fprintf(&b, "                             attacked=%s\n", dui.PCCLossCorrelation(attacked.Records))
-	for _, cap := range []float64{0.05, 0.03, 0.01} {
-		_, amp := dui.ForcedOscillation(0.01, cap, 20)
-		fmt.Fprintf(&b, "  ε clamp %.2f -> forced oscillation bounded to ±%.0f%%\n", cap, 100*amp/2)
-	}
-	return b.String()
-}
-
-// poisonedWindow builds a representative contaminated report window for
-// the detector demonstration: 85%% honest around QoE 4.5, 15%% bots at 0.2.
-func poisonedWindow() []float64 {
-	w := make([]float64, 200)
-	for i := range w {
-		w[i] = 4.5
-		if i%7 == 0 {
-			w[i] = 0.2
-		}
-	}
-	return w
+	robustness.WriteDefenseEval(os.Stdout, *seed, *parallel)
 }

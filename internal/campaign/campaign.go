@@ -36,15 +36,17 @@ import (
 
 	"dui/internal/buildinfo"
 	"dui/internal/fuzz"
+	"dui/internal/robustness"
 	"dui/internal/scenario"
 )
 
 // Job kinds accepted in JobSpec.Kind.
 const (
-	KindFuzz      = "fuzz"
-	KindChaos     = "chaos"
-	KindScenarios = "scenarios"
-	KindAdv       = "adv"
+	KindFuzz       = "fuzz"
+	KindChaos      = "chaos"
+	KindScenarios  = "scenarios"
+	KindAdv        = "adv"
+	KindRobustness = "robustness"
 )
 
 // JobSpec describes one campaign. Exactly the field matching Kind is set;
@@ -53,11 +55,12 @@ const (
 type JobSpec struct {
 	// Kind selects the campaign type (KindFuzz, KindChaos, KindScenarios,
 	// KindAdv).
-	Kind      string        `json:"kind"`
-	Fuzz      *FuzzSpec     `json:"fuzz,omitempty"`
-	Chaos     *ChaosSpec    `json:"chaos,omitempty"`
-	Scenarios *ScenarioSpec `json:"scenarios,omitempty"`
-	Adv       *AdvSpec      `json:"adv,omitempty"`
+	Kind       string          `json:"kind"`
+	Fuzz       *FuzzSpec       `json:"fuzz,omitempty"`
+	Chaos      *ChaosSpec      `json:"chaos,omitempty"`
+	Scenarios  *ScenarioSpec   `json:"scenarios,omitempty"`
+	Adv        *AdvSpec        `json:"adv,omitempty"`
+	Robustness *RobustnessSpec `json:"robustness,omitempty"`
 }
 
 // FuzzSpec is a scenario-fuzzing campaign (cmd/simfuzz inline, or the
@@ -122,6 +125,24 @@ type AdvSpec struct {
 	// (default 5).
 	Validate int `json:"validate"`
 	// Quick shrinks the per-evaluation simulations for smoke runs.
+	Quick bool `json:"quick,omitempty"`
+}
+
+// RobustnessSpec is a full robustness-matrix evaluation (cmd/robustness):
+// every (system, attack, guard arm, fault profile) cell scored over
+// Trials twin-run reps.
+type RobustnessSpec struct {
+	// Systems selects harnesses by canonical name; canonicalized to
+	// registry order (default all nine).
+	Systems []string `json:"systems"`
+	// Profiles selects benign-fault profiles by name; canonicalized to
+	// the robustness.AllProfiles order (default all four).
+	Profiles []string `json:"profiles"`
+	// Trials is the twin-run rep count per cell (default 2).
+	Trials int `json:"trials"`
+	// RootSeed derives every rep's seed (default 1).
+	RootSeed uint64 `json:"root_seed"`
+	// Quick shrinks every harness for smoke runs.
 	Quick bool `json:"quick,omitempty"`
 }
 
@@ -232,6 +253,40 @@ func (s JobSpec) Canon() (JobSpec, error) {
 			a.Validate = 5
 		}
 		out.Adv = &a
+	case KindRobustness:
+		r := RobustnessSpec{}
+		if s.Robustness != nil {
+			r = *s.Robustness
+		}
+		systems, err := robustness.Select(r.Systems)
+		if err != nil {
+			return out, fmt.Errorf("campaign: robustness job: %w", err)
+		}
+		r.Systems = r.Systems[:0]
+		for _, sys := range systems {
+			r.Systems = append(r.Systems, sys.Name())
+		}
+		profiles, err := robustness.Profiles(r.Profiles)
+		if err != nil {
+			return out, fmt.Errorf("campaign: robustness job: %w", err)
+		}
+		wantProf := map[string]bool{}
+		for _, p := range profiles {
+			wantProf[p.Name] = true
+		}
+		r.Profiles = r.Profiles[:0]
+		for _, p := range robustness.AllProfiles {
+			if wantProf[p.Name] {
+				r.Profiles = append(r.Profiles, p.Name)
+			}
+		}
+		if r.Trials <= 0 {
+			r.Trials = 2
+		}
+		if r.RootSeed == 0 {
+			r.RootSeed = 1
+		}
+		out.Robustness = &r
 	default:
 		return out, fmt.Errorf("campaign: unknown job kind %q", s.Kind)
 	}

@@ -118,6 +118,40 @@ func TestExecuteAdvWorkerIndependence(t *testing.T) {
 	}
 }
 
+// TestExecuteRobustnessKind: the robustness matrix kind produces the
+// full cell grid and identical bytes at any worker count and shard
+// split — the matrix reseeds each trial from its cell coordinates, so
+// the runner's linear seed expansion must not leak into results.
+func TestExecuteRobustnessKind(t *testing.T) {
+	spec := campaign.JobSpec{Kind: campaign.KindRobustness,
+		Robustness: &campaign.RobustnessSpec{
+			Systems:  []string{"sppifo", "ron"},
+			Profiles: []string{"none", "gray"},
+			Trials:   1, RootSeed: 1, Quick: true,
+		}}
+	want := mustExecute(t, spec, campaign.Env{Workers: 1, Shards: 1})
+	var res campaign.RobustnessResult
+	if err := json.Unmarshal(want, &res); err != nil {
+		t.Fatalf("result does not parse as RobustnessResult: %v", err)
+	}
+	if res.Kind != campaign.KindRobustness || len(res.Systems) != 2 {
+		t.Fatalf("result header = %+v", res)
+	}
+	// sppifo and ron each expose two attacks: 2 systems x 2 attacks x
+	// 2 guard arms x 2 profiles.
+	if len(res.Cells) != 16 {
+		t.Fatalf("got %d cells, want 16", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if !c.Guarded && (c.DetectRate != 0 || c.FalseVetoRate != 0 || c.MeanChecks != 0) {
+			t.Fatalf("guard-off cell carries guard readings: %+v", c)
+		}
+	}
+	if got := mustExecute(t, spec, campaign.Env{Workers: 4, Shards: 3}); !bytes.Equal(got, want) {
+		t.Error("robustness matrix diverged across workers/shards")
+	}
+}
+
 // TestExecuteJournalResume: a campaign killed mid-run (simulated by
 // context cancellation) resumes from its journal to byte-identical
 // results, replaying journaled trials instead of re-running them.

@@ -40,6 +40,8 @@ func kindOps(kind string) ops {
 		return scenarioOps
 	case KindAdv:
 		return advOps
+	case KindRobustness:
+		return robustnessOps
 	}
 	panic("campaign: kindOps on unvalidated kind " + kind)
 }
@@ -53,6 +55,8 @@ func rootSeed(s JobSpec) uint64 {
 		return s.Chaos.RootSeed
 	case KindAdv:
 		return s.Adv.Seed
+	case KindRobustness:
+		return s.Robustness.RootSeed // informational: trials reseed via robustness.TrialSeed
 	default:
 		return 1 // scenario batches carry their seeds inside each scenario
 	}

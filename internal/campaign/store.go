@@ -208,15 +208,25 @@ func (st *Store) submit(spec JobSpec, cached bool) (JobStatus, error) {
 	return jb.status, nil
 }
 
-// Claim hands the scheduler the oldest queued job, marking it running and
-// attaching the cancel handle an API cancel will fire. ok=false when
-// nothing is queued.
+// Claim hands the scheduler the oldest claimable queued job, marking it
+// running and attaching the cancel handle an API cancel will fire. A
+// queued job whose key another scheduler is already running is not
+// claimable: it coalesces in flight — when the running twin finishes,
+// terminalLocked marks it done from the cache; when the twin fails or is
+// canceled, it stays queued and the winding-down scheduler's claim loop
+// picks it up. ok=false when nothing is claimable.
 func (st *Store) Claim(cancel context.CancelFunc) (JobStatus, JobSpec, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	inflight := map[string]bool{}
+	for _, id := range st.order {
+		if jb := st.jobs[id]; jb.status.State == JobRunning {
+			inflight[jb.status.Key] = true
+		}
+	}
 	for _, id := range st.order {
 		jb := st.jobs[id]
-		if jb.status.State != JobQueued {
+		if jb.status.State != JobQueued || inflight[jb.status.Key] {
 			continue
 		}
 		jb.status.State = JobRunning
@@ -265,12 +275,30 @@ func (st *Store) terminal(id string, state JobState, cached bool, msg string) {
 	}
 }
 
-// terminalLocked journals and applies a terminal transition. Callers
-// hold mu.
+// terminalLocked journals and applies a terminal transition. A done
+// transition also settles every queued duplicate of the same key: the
+// finished job just populated the result cache, so the duplicates go
+// done-from-cache without re-simulation. Failed and canceled transitions
+// leave duplicates queued — the work still needs doing, and the next
+// claim retries it. Callers hold mu.
 func (st *Store) terminalLocked(jb *job, state JobState, cached bool, msg string) {
 	if jb.status.State.Terminal() {
 		return
 	}
+	st.applyTerminalLocked(jb, state, cached, msg)
+	if state != JobDone {
+		return
+	}
+	for _, id := range st.order {
+		if dup := st.jobs[id]; dup.status.State == JobQueued && dup.status.Key == jb.status.Key {
+			st.applyTerminalLocked(dup, JobDone, true, "")
+		}
+	}
+}
+
+// applyTerminalLocked journals and applies one terminal transition
+// without coalescing. Callers hold mu.
+func (st *Store) applyTerminalLocked(jb *job, state JobState, cached bool, msg string) {
 	st.j.Append(storeRec{Op: "state", ID: jb.status.ID, State: state, Cached: cached, Error: msg})
 	jb.status.State = state
 	jb.status.Cached = cached

@@ -36,6 +36,98 @@ func TestRequestCancelQueuedJob(t *testing.T) {
 	}
 }
 
+// TestInFlightDedup: a queued duplicate of a running job must coalesce
+// onto the running job's result — unclaimable while the twin runs, done
+// from the cache the moment the twin finishes — while jobs with other
+// keys schedule around it, and the terminal transitions survive a
+// reopen.
+func TestInFlightDedup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	st, err := campaign.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := st.Submit(fuzzSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := st.Submit(fuzzSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.Key != first.Key {
+		t.Fatalf("identical specs got keys %s and %s", first.Key, dup.Key)
+	}
+	other, err := st.Submit(fuzzSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	claimed, _, ok := st.Claim(func() {})
+	if !ok || claimed.ID != first.ID {
+		t.Fatalf("first Claim = %+v, %v; want %s", claimed, ok, first.ID)
+	}
+	// The duplicate coalesces in flight: a second scheduler must skip it
+	// and land on the distinct-key job behind it.
+	claimed, _, ok = st.Claim(func() {})
+	if !ok || claimed.ID != other.ID {
+		t.Fatalf("second Claim = %+v, %v; want %s (duplicate must coalesce, not run)", claimed, ok, other.ID)
+	}
+	if _, _, ok = st.Claim(func() {}); ok {
+		t.Fatal("third Claim handed out the in-flight duplicate")
+	}
+
+	st.Finish(first.ID, false)
+	got, _ := st.Get(dup.ID)
+	if got.State != campaign.JobDone || !got.Cached {
+		t.Fatalf("duplicate after twin finished = %+v; want done from cache", got)
+	}
+	if got.Done != got.Total {
+		t.Fatalf("coalesced duplicate progress = %d/%d", got.Done, got.Total)
+	}
+	st.Close()
+
+	st, err = campaign.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got, _ := st.Get(dup.ID); got.State != campaign.JobDone || !got.Cached {
+		t.Fatalf("duplicate after reopen = %+v; want done from cache", got)
+	}
+}
+
+// TestInFlightDedupFailureRequeues: when the running twin fails or is
+// canceled, its queued duplicates must NOT inherit the failure — the
+// work is still owed, so the duplicate becomes claimable again.
+func TestInFlightDedupFailureRequeues(t *testing.T) {
+	st, err := campaign.OpenStore(filepath.Join(t.TempDir(), "jobs.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	first, err := st.Submit(fuzzSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := st.Submit(fuzzSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if claimed, _, ok := st.Claim(func() {}); !ok || claimed.ID != first.ID {
+		t.Fatalf("Claim = %+v, %v", claimed, ok)
+	}
+
+	st.Fail(first.ID, "boom")
+	if got, _ := st.Get(dup.ID); got.State != campaign.JobQueued {
+		t.Fatalf("duplicate after twin failure = %+v; want queued", got)
+	}
+	claimed, _, ok := st.Claim(func() {})
+	if !ok || claimed.ID != dup.ID {
+		t.Fatalf("re-Claim = %+v, %v; want the requeued duplicate %s", claimed, ok, dup.ID)
+	}
+}
+
 // TestRequestCancelClaimedJob: canceling a job the scheduler has already
 // claimed must NOT journal a terminal state — the executor owns that
 // transition — but must fire the job context so the executor unwinds. A

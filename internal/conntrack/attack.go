@@ -31,6 +31,10 @@ type ExhaustionConfig struct {
 	UpdateAt float64
 	Duration float64
 	Seed     uint64
+	// Guard, if set, observes the table once per simulation step — the
+	// hook the §5 table-pressure supervisor uses to sample occupancy and
+	// trigger probation sweeps. Excluded from canonical specs.
+	Guard func(now float64, t *Table) `json:"-"`
 }
 
 // Defaults fills a representative configuration: the table holds 4x the
@@ -164,6 +168,9 @@ func RunExhaustion(cfg ExhaustionConfig) *ExhaustionResult {
 				}
 				c.next = now + cfg.LegitInterval
 			}
+		}
+		if cfg.Guard != nil {
+			cfg.Guard(now, table)
 		}
 		if now < cfg.UpdateAt && now+step >= cfg.UpdateAt {
 			res.TableOccupancy = table.Len()

@@ -32,14 +32,16 @@ type Table struct {
 	entries map[packet.FlowKey]*entry
 	idle    idleHeap
 
-	// Inserted/Rejected/Expired count table activity.
-	Inserted, Rejected, Expired uint64
+	// Inserted/Rejected/Expired count table activity; ProbationEvicted
+	// counts entries removed by SweepProbation.
+	Inserted, Rejected, Expired, ProbationEvicted uint64
 }
 
 type entry struct {
 	key      packet.FlowKey
 	backend  Backend
 	lastSeen float64
+	hits     int
 	idx      int
 }
 
@@ -59,6 +61,9 @@ func NewTable(capacity int, timeout float64) *Table {
 // Len returns the current occupancy.
 func (t *Table) Len() int { return len(t.entries) }
 
+// Cap returns the entry capacity.
+func (t *Table) Cap() int { return t.cap }
+
 // Lookup returns the pinned backend for a connection, refreshing its idle
 // timer.
 func (t *Table) Lookup(now float64, k packet.FlowKey) (Backend, bool) {
@@ -68,6 +73,7 @@ func (t *Table) Lookup(now float64, k packet.FlowKey) (Backend, bool) {
 		return 0, false
 	}
 	e.lastSeen = now
+	e.hits++
 	heap.Fix(&t.idle, e.idx)
 	return e.backend, true
 }
@@ -80,6 +86,7 @@ func (t *Table) Insert(now float64, k packet.FlowKey, b Backend) bool {
 	if e, ok := t.entries[k]; ok {
 		e.lastSeen = now
 		e.backend = b
+		e.hits++
 		heap.Fix(&t.idle, e.idx)
 		return true
 	}
@@ -87,7 +94,7 @@ func (t *Table) Insert(now float64, k packet.FlowKey, b Backend) bool {
 		t.Rejected++
 		return false
 	}
-	e := &entry{key: k, backend: b, lastSeen: now}
+	e := &entry{key: k, backend: b, lastSeen: now, hits: 1}
 	t.entries[k] = e
 	heap.Push(&t.idle, e)
 	t.Inserted++
@@ -100,6 +107,28 @@ func (t *Table) Remove(k packet.FlowKey) {
 		heap.Remove(&t.idle, e.idx)
 		delete(t.entries, k)
 	}
+}
+
+// SweepProbation evicts every entry that was touched at most once and
+// has been idle for at least minIdle seconds — the table-pressure
+// guard's mitigation. A spoofed SYN touches its entry exactly once and
+// never again, while a live connection confirms its entry with a second
+// packet well inside any sane probation window; sweeping one-touch
+// entries therefore sheds flood state at probation speed instead of
+// waiting out the full idle timeout. It returns the eviction count.
+func (t *Table) SweepProbation(now, minIdle float64) int {
+	var victims []*entry
+	for _, e := range t.idle {
+		if e.hits <= 1 && now-e.lastSeen >= minIdle {
+			victims = append(victims, e)
+		}
+	}
+	for _, e := range victims {
+		heap.Remove(&t.idle, e.idx)
+		delete(t.entries, e.key)
+		t.ProbationEvicted++
+	}
+	return len(victims)
 }
 
 // expire evicts entries idle beyond the timeout.

@@ -68,11 +68,32 @@ type Outcome struct {
 	Budget int
 }
 
+// RunConfig extends Run for the robustness matrix: guard programs ride
+// on the vantage router next to the monitor, and a Chaos hook can
+// install benign faults on the topology's links before traffic starts.
+type RunConfig struct {
+	Scenario Scenario
+	Attack   Attack
+	Duration float64
+	// Programs are attached to the vantage router after the monitor (§5
+	// metric-sanity guards observing the same traffic).
+	Programs []netsim.Program
+	// Chaos, if set, runs once routes are computed: srcLink is src–rV,
+	// trunk rV–rB, bottleneck rB–dst.
+	Chaos func(nw *netsim.Network, srcLink, trunk, bottleneck *netsim.Link)
+}
+
 // Run builds sender ── rV (vantage, DAPPER) ── rB (bottleneck) ── receiver,
 // drives one TCP flow with the scenario's ground-truth bottleneck,
 // optionally applies an attack tap on the receiver side of the vantage,
 // and returns the monitor's majority diagnosis.
 func Run(sc Scenario, atk Attack, duration float64) Outcome {
+	return RunWith(RunConfig{Scenario: sc, Attack: atk, Duration: duration})
+}
+
+// RunWith is Run with guard programs and a benign-fault hook.
+func RunWith(rc RunConfig) Outcome {
+	sc, atk, duration := rc.Scenario, rc.Attack, rc.Duration
 	nw := netsim.New()
 	src := nw.AddHost("src", packet.MustParseAddr("20.1.0.1"))
 	rV := nw.AddRouter("vantage")
@@ -90,11 +111,13 @@ func Run(sc Scenario, atk Attack, duration float64) Outcome {
 		nw.Connect(rV, rB, 0, 0.005, 0)
 		bottleneck = nw.Connect(rB, dst, 50e6, 0.005, 0)
 	}
-	_ = bottleneck
 	nw.ComputeRoutes()
 
 	mon := NewMonitor(Config{})
 	rV.AttachProgram(mon)
+	for _, p := range rc.Programs {
+		rV.AttachProgram(p)
+	}
 
 	// Attack taps sit so that the manipulated traffic passes the
 	// monitor: data-direction injection on the sender side of the
@@ -102,6 +125,9 @@ func Run(sc Scenario, atk Attack, duration float64) Outcome {
 	// vantage → sender).
 	srcLink := rV.Links()[0]
 	ackLink := rV.Links()[1]
+	if rc.Chaos != nil {
+		rc.Chaos(nw, srcLink, ackLink, bottleneck)
+	}
 	budget := func() int { return 0 }
 	switch atk {
 	case InjectRetransmissions:

@@ -41,6 +41,11 @@ type OscConfig struct {
 	EqActiveFrom   float64
 	// Debug prints per-MI records of flow 0 (test diagnostics only).
 	Debug bool
+	// Chaos, if set, runs once routes are computed and before any flow
+	// starts: bottlenecks are the per-flow rIn–rOut capacity links,
+	// shared the rOut–destination link. The fault-injection point for
+	// the robustness matrix; nil leaves the run bit-identical.
+	Chaos func(nw *netsim.Network, bottlenecks []*netsim.Link, shared *netsim.Link) `json:"-"`
 }
 
 // Defaults fills a representative configuration.
@@ -131,14 +136,18 @@ func RunOscillation(cfg OscConfig) *OscResult {
 	rOut := nw.AddRouter("rOut")
 	shared := nw.Connect(rOut, dst, 0, 0.005, 0)
 	senders := make([]*netsim.Node, cfg.Flows)
+	bottlenecks := make([]*netsim.Link, cfg.Flows)
 	for i := range senders {
 		senders[i] = nw.AddHost(fmt.Sprintf("s%d", i), packet.MustParseAddr("20.0.0.1")+packet.Addr(i))
 		rIn := nw.AddRouter(fmt.Sprintf("rIn%d", i))
 		nw.Connect(senders[i], rIn, 0, 0.005, 0)
 		// Per-flow bottleneck: capacity C pps at the flow's packet size.
-		nw.Connect(rIn, rOut, cfg.CapacityPPS*1250*8, 0.005, 50)
+		bottlenecks[i] = nw.Connect(rIn, rOut, cfg.CapacityPPS*1250*8, 0.005, 50)
 	}
 	nw.ComputeRoutes()
+	if cfg.Chaos != nil {
+		cfg.Chaos(nw, bottlenecks, shared)
+	}
 
 	var eq *Equalizer
 	if cfg.Attack {

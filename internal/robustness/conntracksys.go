@@ -1,0 +1,65 @@
+package robustness
+
+import (
+	"dui/internal/conntrack"
+	"dui/internal/supervisor"
+)
+
+// conntrackSystem scores the SilkRoad-style connection table (§3.2):
+// attack "exhaustion" is the spoofed SYN flood that fills the table so
+// legitimate connections lose their backend pinning at the next pool
+// update. The guarded arm installs supervisor.ConntrackGuard's step
+// hook (table-pressure detection plus probation sweeps of one-touch
+// idle entries). Damage is BrokenFraction — the share of legitimate
+// connections remapped by the update.
+//
+// Profile mapping (pure-model system — Intensity maps onto workload
+// knobs; all three stay below the guard's 90% pressure threshold on the
+// attack-free twin, so benign faults alone never trip it): gray slows
+// the legitimate keepalive cadence (packets arrive late and idle ages
+// grow); flap shortens connection lifetimes (churn bursts — more
+// renewals racing for slots); degrade shrinks the table itself (the
+// operator provisioned less SRAM).
+type conntrackSystem struct{}
+
+func (conntrackSystem) Name() string      { return "conntrack" }
+func (conntrackSystem) Attacks() []string { return []string{"exhaustion"} }
+
+func (conntrackSystem) Run(attack string, guarded bool, prof Profile, seed uint64, quick bool) TrialResult {
+	cfg := conntrack.ExhaustionConfig{
+		TableCap:   2000,
+		LegitConns: 500,
+		UpdateAt:   15,
+		Duration:   20,
+		Seed:       seed,
+	}
+	if quick {
+		cfg.TableCap, cfg.LegitConns = 1000, 250
+		cfg.UpdateAt, cfg.Duration = 10, 14
+	}
+	if attack == "exhaustion" {
+		cfg.AttackSYNRate = 2000
+	}
+	e := prof.Intensity
+	switch prof.Name {
+	case "gray":
+		cfg.LegitInterval = 0.5 * (1 + 0.6*e)
+	case "flap":
+		cfg.LegitLifetime = 15 / (1 + 2*e)
+	case "degrade":
+		cfg.TableCap = int(float64(cfg.TableCap) * (1 - 0.4*e))
+	}
+	var g *supervisor.ConntrackGuard
+	if guarded {
+		g = &supervisor.ConntrackGuard{}
+		cfg.Guard = g.StepHook()
+	}
+	res := conntrack.RunExhaustion(cfg)
+	out := TrialResult{Damage: res.BrokenFraction}
+	if g != nil {
+		c := g.Cost()
+		out.Detected = c.Flags > 0
+		out.Checks = c.Checks
+	}
+	return out
+}

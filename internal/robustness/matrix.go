@@ -1,0 +1,118 @@
+package robustness
+
+import (
+	"fmt"
+	"strings"
+
+	"dui/internal/stats"
+)
+
+// TrialOutcome is one rep of one cell: the attacked run plus its
+// attack-free twin at the same seed. This is the record the campaign
+// journal persists, so its JSON layout is part of the resume contract.
+type TrialOutcome struct {
+	// Detected / Damage / Checks score the attacked run.
+	Detected bool    `json:"detected"`
+	Damage   float64 `json:"damage"`
+	Checks   int     `json:"checks"`
+	// TwinFlagged / TwinDamage / TwinChecks score the attack-free twin;
+	// TwinFlagged is a false veto.
+	TwinFlagged bool    `json:"twin_flagged"`
+	TwinDamage  float64 `json:"twin_damage"`
+	TwinChecks  int     `json:"twin_checks"`
+}
+
+// TrialSeed derives one rep's base seed. The guard arm is deliberately
+// absent: guard-on and guard-off runs of a rep share their randomness,
+// so a cell pair isolates the guard's effect.
+func TrialSeed(root uint64, c CellID, rep int) uint64 {
+	return stats.PathSeed(root, axTrial, uint64(c.SysIdx), uint64(c.AtkIdx), uint64(c.ProfIdx), uint64(rep))
+}
+
+// RunTrial executes one rep of one cell: the cell's attack and its
+// attack-free twin, both under the cell's profile and guard arm, at the
+// same seed.
+func RunTrial(c CellID, profiles []Profile, root uint64, rep int, quick bool) TrialOutcome {
+	sys := Systems()[c.SysIdx]
+	attack := sys.Attacks()[c.AtkIdx]
+	prof := profiles[c.ProfIdx]
+	seed := TrialSeed(root, c, rep)
+	atk := sys.Run(attack, c.Guarded, prof, seed, quick)
+	twin := sys.Run("", c.Guarded, prof, seed, quick)
+	return TrialOutcome{
+		Detected: atk.Detected, Damage: atk.Damage, Checks: atk.Checks,
+		TwinFlagged: twin.Detected, TwinDamage: twin.Damage, TwinChecks: twin.Checks,
+	}
+}
+
+// Aggregate folds one cell's trial outcomes (in rep order) into its
+// scored Cell. Plain running sums over a fixed-order slice: the result
+// is bit-identical however the trials were scheduled.
+func Aggregate(c CellID, profiles []Profile, outs []TrialOutcome) Cell {
+	sys := Systems()[c.SysIdx]
+	cell := Cell{
+		System:  sys.Name(),
+		Attack:  sys.Attacks()[c.AtkIdx],
+		Guarded: c.Guarded,
+		Profile: profiles[c.ProfIdx].Name,
+		Trials:  len(outs),
+	}
+	if len(outs) == 0 {
+		return cell
+	}
+	var det, veto int
+	var dmg, twinDmg, checks float64
+	for _, o := range outs {
+		if o.Detected {
+			det++
+		}
+		if o.TwinFlagged {
+			veto++
+		}
+		dmg += o.Damage
+		twinDmg += o.TwinDamage
+		checks += float64(o.Checks+o.TwinChecks) / 2
+	}
+	n := float64(len(outs))
+	cell.DetectRate = float64(det) / n
+	cell.FalseVetoRate = float64(veto) / n
+	cell.Damage = dmg / n
+	cell.TwinDamage = twinDmg / n
+	cell.MeanChecks = checks / n
+	return cell
+}
+
+// RenderTable renders cells as the human-readable matrix: one block per
+// system, guard-off and guard-on arms of each (attack, profile) row side
+// by side.
+func RenderTable(cells []Cell) string {
+	type rowKey struct {
+		system, attack, profile string
+	}
+	rows := map[rowKey]map[bool]Cell{}
+	var order []rowKey
+	for _, c := range cells {
+		k := rowKey{c.System, c.Attack, c.Profile}
+		if rows[k] == nil {
+			rows[k] = map[bool]Cell{}
+			order = append(order, k)
+		}
+		rows[k][c.Guarded] = c
+	}
+	var b strings.Builder
+	lastSystem := ""
+	for _, k := range order {
+		if k.system != lastSystem {
+			fmt.Fprintf(&b, "\n[%s]\n", k.system)
+			fmt.Fprintf(&b, "  %-18s %-8s | %-28s | %s\n", "attack", "profile",
+				"unguarded damage/twin", "guarded detect/veto/damage/twin")
+			lastSystem = k.system
+		}
+		off, on := rows[k][false], rows[k][true]
+		fmt.Fprintf(&b, "  %-18s %-8s | dmg %.3f  twin %.3f       | det %3.0f%%  veto %3.0f%%  dmg %.3f  twin %.3f\n",
+			k.attack, k.profile,
+			off.Damage, off.TwinDamage,
+			100*on.DetectRate, 100*on.FalseVetoRate, on.Damage, on.TwinDamage)
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package robustness
+
+import (
+	"math"
+
+	"dui/internal/ron"
+	"dui/internal/stats"
+	"dui/internal/supervisor"
+)
+
+// ronSystem scores the RON overlay (§3.2): attack "drop" times out the
+// victim pair's probes (diverting its data onto a worse path); attack
+// "steer" delays every probe of the victim's except the leg through the
+// attacker's chosen intermediate, funneling the data through her. The
+// guarded arm wires supervisor.RONGuard into the probe path
+// (per-pair envelope admission; run verdict = persistent shifts on >= 2
+// ordered pairs). Damage is 1 when the data crosses the attacker's
+// intermediate, otherwise the route's latency inflation over the clean
+// phase, clamped to [0, 1].
+//
+// Profile mapping (pure-model system, faults as benign probe tampers
+// active in both phases so the guard's baselines learn them): gray adds
+// diffuse probe timeouts; flap blacks out one non-victim ordered pair
+// for a mid-run window (an asymmetric routing brownout — a single
+// genuine path event the run verdict must tolerate); degrade adds a
+// uniform latency shift to every probe (a congested underlay).
+type ronSystem struct{}
+
+func (ronSystem) Name() string      { return "ron" }
+func (ronSystem) Attacks() []string { return []string{"drop", "steer"} }
+
+// ronBenign builds the profile tamper. n is the overlay size; the
+// closure counts probe calls to recover the round number (Probe visits
+// all n·(n-1) ordered pairs per round).
+func ronBenign(prof Profile, seed uint64, n int) ron.ProbeTamper {
+	e := prof.Intensity
+	if e == 0 {
+		return nil
+	}
+	perRound := n * (n - 1)
+	calls := 0
+	rng := stats.ChildAt(seed, 3500)
+	switch prof.Name {
+	case "gray":
+		return func(a, b int, rtt float64) float64 {
+			calls++
+			if rng.Bool(0.04 * e) {
+				return math.Inf(1)
+			}
+			return rtt
+		}
+	case "flap":
+		return func(a, b int, rtt float64) float64 {
+			round := calls / perRound
+			calls++
+			if a == 2 && b == 3 && round >= 25 && round < 35 {
+				return math.Inf(1)
+			}
+			return rtt
+		}
+	case "degrade":
+		return func(a, b int, rtt float64) float64 {
+			calls++
+			return rtt + 0.002*e
+		}
+	}
+	return nil
+}
+
+func compose(benign, atk ron.ProbeTamper) ron.ProbeTamper {
+	if benign == nil {
+		return atk
+	}
+	if atk == nil {
+		return benign
+	}
+	return func(a, b int, rtt float64) float64 {
+		return atk(a, b, benign(a, b, rtt))
+	}
+}
+
+func (ronSystem) Run(attack string, guarded bool, prof Profile, seed uint64, quick bool) TrialResult {
+	n, src, dst, via := 14, 0, 7, 5
+	cleanRounds, atkRounds := 20, 30
+	if quick {
+		n, cleanRounds, atkRounds = 10, 15, 20
+		if dst >= n {
+			dst = n - 1
+		}
+	}
+	o := ron.NewRandom(n, stats.NewRNG(seed))
+	var g *supervisor.RONGuard
+	if guarded {
+		g = &supervisor.RONGuard{}
+		supervisor.GuardOverlay(o, g)
+	}
+	benign := ronBenign(prof, seed, n)
+	for r := 0; r < cleanRounds; r++ {
+		o.Probe(benign)
+	}
+	cleanLat := o.DataLatency(src, dst)
+
+	var atk ron.ProbeTamper
+	switch attack {
+	case "drop":
+		atk = ron.DropProbes(src, dst)
+	case "steer":
+		atk = ron.SteerVia(src, dst, via, 0.1)
+	}
+	tamper := compose(benign, atk)
+	for r := 0; r < atkRounds; r++ {
+		o.Probe(tamper)
+	}
+
+	out := TrialResult{}
+	route := o.Route(src, dst)
+	viaAttacker := false
+	for _, hop := range route[1 : len(route)-1] {
+		if hop == via {
+			viaAttacker = true
+		}
+	}
+	if attack == "steer" && viaAttacker {
+		out.Damage = 1
+	} else if cleanLat > 0 {
+		out.Damage = clamp01(o.DataLatency(src, dst)/cleanLat - 1)
+	}
+	if g != nil {
+		out.Detected = !g.Summary().Plausible
+		out.Checks = g.Cost().Checks
+	}
+	return out
+}

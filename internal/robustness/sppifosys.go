@@ -1,0 +1,180 @@
+package robustness
+
+import (
+	"dui/internal/sppifo"
+	"dui/internal/stats"
+	"dui/internal/supervisor"
+)
+
+// sppifoSystem scores SP-PIFO (§3.2): attacks "sawtooth" and
+// "descending-ramps" send bursts of crafted rank sequences that violate
+// the random-arrival-order assumption and collapse the queue bounds.
+// The harness drives the queue directly (rather than through
+// sppifo.Run, whose even interleave would dilute the bursts an actual
+// attacker has every reason to send back-to-back): a background stream
+// of uniform-rank victims with attack bursts spliced in at regular
+// intervals, under the same standing-backlog service discipline. The
+// guarded arm wires supervisor.SPPIFOGuard through the queue's
+// admission path — within a burst the windowed push-down rate spikes
+// far above what random arrival order produces, the guard flags, and
+// flagged push-downs stop collapsing the bounds. Damage is the victims'
+// mean scheduling displacement in excess of the loaded-queue benign
+// baseline, normalized by the unguarded attack ceiling.
+//
+// Profile mapping (pure-model system — faults are benign cross-traffic
+// interleaved with the victims): gray adds cross-traffic whose ranks
+// random-walk (locally correlated, occasionally descending); flap adds
+// bursts of short descending runs (an application flushing a priority
+// batch — the benign look-alike the guard's false-veto bound is
+// measured against); degrade shrinks the per-queue buffers.
+type sppifoSystem struct{}
+
+func (sppifoSystem) Name() string      { return "sppifo" }
+func (sppifoSystem) Attacks() []string { return []string{"sawtooth", "descending-ramps"} }
+
+// Delay normalization anchors, measured at the reference configuration:
+// a loaded queue schedules victims late even with no attack (the benign
+// floor); the unguarded attack bursts push the displacement to the
+// ceiling.
+const (
+	sppifoBenignDelay  = 70.0
+	sppifoAttackDelay  = 110.0
+	sppifoQuickBenign  = 35.0
+	sppifoQuickCeiling = 60.0
+)
+
+// sppifoCross generates the profile's benign cross-traffic ranks.
+func sppifoCross(prof Profile, maxRank, victims int, rng *stats.RNG) []int {
+	e := prof.Intensity
+	if e == 0 {
+		return nil
+	}
+	switch prof.Name {
+	case "gray":
+		// Random-walk ranks: locally correlated benign traffic.
+		n := int(float64(victims) * 0.25 * e)
+		out := make([]int, 0, n)
+		r := rng.IntN(maxRank)
+		for i := 0; i < n; i++ {
+			step := int(30 * e)
+			if step < 1 {
+				step = 1
+			}
+			r += rng.IntN(2*step+1) - step
+			if r < 0 {
+				r = 0
+			}
+			if r >= maxRank {
+				r = maxRank - 1
+			}
+			out = append(out, r)
+		}
+		return out
+	case "flap":
+		// Bursts of short descending runs.
+		bursts := 1 + int(6*e)
+		runLen := 2 + int(10*e)
+		var out []int
+		for b := 0; b < bursts; b++ {
+			start := rng.IntN(maxRank)
+			for i := 0; i < runLen; i++ {
+				r := start - i*(maxRank/runLen/2+1)
+				if r < 0 {
+					r = 0
+				}
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func (sppifoSystem) Run(attack string, guarded bool, prof Profile, seed uint64, quick bool) TrialResult {
+	const queues, maxRank, bursts = 8, 100, 6
+	victims, perQ, backlog := 600, 64, 64
+	benignRef, ceiling := sppifoBenignDelay, sppifoAttackDelay
+	if quick {
+		victims = 300
+		benignRef, ceiling = sppifoQuickBenign, sppifoQuickCeiling
+	}
+	if prof.Name == "degrade" {
+		perQ = int(float64(perQ) * (1 - 0.5*prof.Intensity))
+	}
+
+	// Background stream: victims plus the profile's benign cross-traffic,
+	// interleaved proportionally (benign traffic has no reason to burst
+	// beyond what the profile itself encodes).
+	rng := stats.ChildAt(seed, 3301)
+	cross := sppifoCross(prof, maxRank, victims, stats.ChildAt(seed, 3300))
+	base := make([]sppifo.Packet, 0, victims+len(cross))
+	vi, ci := 0, 0
+	nc := len(cross)
+	for k := 0; k < victims+nc; k++ {
+		if vi < victims && (ci >= nc || vi*nc <= ci*victims) {
+			base = append(base, sppifo.Packet{Rank: rng.IntN(maxRank), Victim: true})
+			vi++
+		} else {
+			base = append(base, sppifo.Packet{Rank: cross[ci]})
+			ci++
+		}
+	}
+
+	// One crafted burst spliced every len(base)/bursts background packets.
+	var burst []int
+	switch attack {
+	case "sawtooth":
+		burst = sppifo.Sawtooth(5, queues, maxRank)
+	case "descending-ramps":
+		burst = sppifo.DescendingRamps(40, maxRank)
+	}
+	var arrivals []sppifo.Packet
+	id := 0
+	push := func(rank int, victim bool) {
+		arrivals = append(arrivals, sppifo.Packet{ID: id, Rank: rank, Victim: victim})
+		id++
+	}
+	stride := len(base)/bursts + 1
+	for i, p := range base {
+		if burst != nil && i%stride == 0 {
+			for _, br := range burst {
+				push(br, false)
+			}
+		}
+		push(p.Rank, p.Victim)
+	}
+
+	q := sppifo.New(queues, perQ)
+	var g *supervisor.SPPIFOGuard
+	if guarded {
+		g = &supervisor.SPPIFOGuard{}
+		supervisor.GuardSPPIFO(q, g)
+	}
+	// Standing-backlog service: same discipline as sppifo.Run.
+	var order []sppifo.Packet
+	for i, p := range arrivals {
+		q.Enqueue(p)
+		if i >= backlog {
+			if pkt, ok := q.Dequeue(); ok {
+				order = append(order, pkt)
+			}
+		}
+	}
+	for {
+		pkt, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		order = append(order, pkt)
+	}
+
+	out := TrialResult{
+		Damage: clamp01((sppifo.MeanVictimDelay(order) - benignRef) / (ceiling - benignRef)),
+	}
+	if g != nil {
+		c := g.Cost()
+		out.Detected = c.Flags > 0
+		out.Checks = c.Checks
+	}
+	return out
+}

@@ -26,6 +26,10 @@ type Overlay struct {
 	Alpha float64
 	// Jitter is the per-probe measurement noise standard deviation.
 	Jitter float64
+	// Admit, if set, vets every probe measurement before it reaches the
+	// estimator (the §5 probe-consistency guard); a rejected sample
+	// leaves the (i, j) estimate untouched, timeouts included.
+	Admit func(i, j int, m float64) bool
 
 	rng *stats.RNG
 
@@ -90,6 +94,9 @@ func (o *Overlay) Probe(tamper ProbeTamper) {
 					o.ProbesTampered++
 				}
 				m = t
+			}
+			if o.Admit != nil && !o.Admit(i, j, m) {
+				continue
 			}
 			if math.IsInf(m, 1) {
 				// Timeout: treat the link as dead (huge estimate).

@@ -36,6 +36,7 @@ func (c Cell) Pure() bool { return c.FlowCount == 1 }
 type FlowRadar struct {
 	cells []Cell
 	k     int
+	salt  FlowID
 	seen  map[FlowID]bool
 }
 
@@ -43,10 +44,19 @@ type FlowRadar struct {
 // partitioned into k equal ranges with one hash position per range (the
 // standard IBLT construction), so a flow's positions are always distinct.
 func New(m, k int) *FlowRadar {
+	return NewSalted(m, k, 0)
+}
+
+// NewSalted returns a table whose hash positions are keyed by a secret
+// salt — the §5 countermeasure the Positions doc comment points at. Salt
+// 0 is the public unkeyed table New returns; labels crafted against the
+// public hash behave like random labels against any non-zero salt, which
+// is what the supervisor's cross-validation guard exploits.
+func NewSalted(m, k int, salt uint64) *FlowRadar {
 	if m <= 0 || k <= 0 || m < k {
 		panic("sketch: need positive table size >= hash count")
 	}
-	return &FlowRadar{cells: make([]Cell, m), k: k, seen: map[FlowID]bool{}}
+	return &FlowRadar{cells: make([]Cell, m), k: k, salt: FlowID(salt), seen: map[FlowID]bool{}}
 }
 
 // M returns the cell count; K the hashes per flow.
@@ -55,11 +65,12 @@ func (f *FlowRadar) M() int { return len(f.cells) }
 // K returns the number of hash positions per flow.
 func (f *FlowRadar) K() int { return f.k }
 
-// Positions returns the k cell indices of a flow. The hash is public and
-// unkeyed — exactly the assumption under which the pollution attack works
-// (per Kerckhoff, §2.1; the countermeasure is a secret keyed hash).
+// Positions returns the k cell indices of a flow. With salt 0 the hash
+// is public and unkeyed — exactly the assumption under which the
+// pollution attack works (per Kerckhoff, §2.1); a NewSalted table keys
+// the hash by XORing the secret salt into the label first.
 func (f *FlowRadar) Positions(id FlowID) []int {
-	return positions(id, f.k, len(f.cells))
+	return positions(id^f.salt, f.k, len(f.cells))
 }
 
 func positions(id FlowID, k, m int) []int {
@@ -145,7 +156,7 @@ func (f *FlowRadar) Decode() Decoded {
 		// it must hash back to this cell. (With distinct per-partition
 		// positions this always holds; the check guards the decoder
 		// against adversarially corrupted state regardless.)
-		backRefs := positions(id, f.k, len(cells))
+		backRefs := positions(id^f.salt, f.k, len(cells))
 		found := false
 		for _, p := range backRefs {
 			if p == i {

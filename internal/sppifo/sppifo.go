@@ -84,9 +84,19 @@ func (q *PIFO) Len() int { return len(q.items) }
 type SPPIFO struct {
 	// PerQueueCap bounds each FIFO (0 = unbounded).
 	PerQueueCap int
-	bounds      []int
-	queues      [][]Packet
-	Drops       int
+	// Admission, if set, observes every enqueue decision: pushDown is
+	// true when the rank undercuts every bound and cost is the bound
+	// decrease that push-down would apply (0 otherwise). Returning false
+	// vetoes the packet: a vetoed push-down is dropped without collapsing
+	// the bounds, a vetoed push-up is dropped without raising them — the
+	// rank-inversion rate limiting of the §5 supervisor.
+	Admission func(rank, cost int, pushDown bool) bool
+	// PushDowns counts admissions that took (or, when Admission vetoed
+	// the bound collapse, would have taken) the push-down path.
+	PushDowns int
+	bounds    []int
+	queues    [][]Packet
+	Drops     int
 }
 
 // New returns an SP-PIFO with n queues (queue 0 = highest priority).
@@ -109,6 +119,10 @@ func (q *SPPIFO) Enqueue(p Packet) bool {
 	n := len(q.queues)
 	for i := n - 1; i >= 0; i-- {
 		if p.Rank >= q.bounds[i] {
+			if q.Admission != nil && !q.Admission(p.Rank, 0, false) {
+				q.Drops++
+				return false
+			}
 			if !q.put(i, p) {
 				return false
 			}
@@ -117,7 +131,12 @@ func (q *SPPIFO) Enqueue(p Packet) bool {
 		}
 	}
 	// Push-down: rank undercuts every bound.
+	q.PushDowns++
 	cost := q.bounds[0] - p.Rank
+	if q.Admission != nil && !q.Admission(p.Rank, cost, true) {
+		q.Drops++
+		return false
+	}
 	for i := range q.bounds {
 		q.bounds[i] -= cost
 	}

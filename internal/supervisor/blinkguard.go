@@ -159,6 +159,28 @@ func GuardPipelineCfg(p *blink.Pipeline, model *RTOModel, cfg GuardConfig) *Blin
 	return g
 }
 
+// Check implements Guard; obs must be a []float64 of retransmission
+// gaps (one veto-time window). It delegates to the model at the guard's
+// threshold and records the verdict like the wired veto path does.
+func (g *BlinkGuard) Check(obs any) Verdict {
+	gaps := obs.([]float64)
+	v := g.Model.CheckWith(gaps, g.MaxRisk)
+	g.Verdicts = append(g.Verdicts, v)
+	return v
+}
+
+// Cost implements Guard, derived from the recorded verdicts (both the
+// wired veto path and direct Check calls append there).
+func (g *BlinkGuard) Cost() GuardCost {
+	c := GuardCost{Checks: len(g.Verdicts)}
+	for _, v := range g.Verdicts {
+		if !v.Plausible {
+			c.Flags++
+		}
+	}
+	return c
+}
+
 // windowContains reports whether an event at time t lies within the
 // sliding window ending at now — in the same subtraction form
 // (now-t <= window) the blink selector uses, so guard and monitor agree

@@ -59,6 +59,26 @@ func PCCLossCorrelation(records []pcc.MIRecord) Verdict {
 	return v
 }
 
+// PCCGuard adapts PCCLossCorrelation to the common Guard interface: one
+// observation is one flow's monitor-interval history.
+type PCCGuard struct {
+	cost GuardCost
+}
+
+// Check implements Guard; obs must be a []pcc.MIRecord.
+func (g *PCCGuard) Check(obs any) Verdict {
+	records := obs.([]pcc.MIRecord)
+	g.cost.Checks++
+	v := PCCLossCorrelation(records)
+	if !v.Plausible {
+		g.cost.Flags++
+	}
+	return v
+}
+
+// Cost implements Guard.
+func (g *PCCGuard) Cost() GuardCost { return g.cost }
+
 // EpsRange is countermeasure III applied to PCC: the supervisor grants
 // the driver a bounded trial amplitude, which directly caps the
 // oscillation an equalizer attacker can force (±εmax by construction; see

@@ -42,3 +42,31 @@ func GroupReportCheck(reports []float64, k float64) Verdict {
 	v.Reason = fmt.Sprintf("%.1f%% of reports deviate >%.0f MADs from the group median", 100*frac, k)
 	return v
 }
+
+// PytheasGuard adapts GroupReportCheck to the common Guard interface:
+// one observation is one epoch's report window.
+type PytheasGuard struct {
+	// K is the MAD multiplier (<= 0 = 4).
+	K float64
+
+	cost GuardCost
+}
+
+// Check implements Guard; obs must be a []float64 of one epoch's QoE
+// reports.
+func (g *PytheasGuard) Check(obs any) Verdict {
+	reports := obs.([]float64)
+	k := g.K
+	if k <= 0 {
+		k = 4
+	}
+	g.cost.Checks++
+	v := GroupReportCheck(reports, k)
+	if !v.Plausible {
+		g.cost.Flags++
+	}
+	return v
+}
+
+// Cost implements Guard.
+func (g *PytheasGuard) Cost() GuardCost { return g.cost }

@@ -17,9 +17,37 @@
 //   - PCC: bound the trial amplitude ε (constraining the decision range,
 //     countermeasure III) and flag loss that correlates with the faster
 //     trials (input-quality check, countermeasure I).
+//
+// The robustness matrix (internal/robustness) adds a supervisor for each
+// of the remaining §3.2 case studies behind the common Guard interface:
+// SP-PIFO rank-inversion rate limiting (SPPIFOGuard), sketch
+// cross-validation against a salted shadow table (SketchGuard), RON
+// probe-consistency checks (RONGuard), a conntrack table-pressure guard
+// (ConntrackGuard), DAPPER metric-sanity clamps (DapperGuard), and a BNN
+// input-envelope check (BNNGuard).
 package supervisor
 
 import "fmt"
+
+// Guard is the common contract every per-system supervisor implements:
+// it consumes system-specific observations one at a time and keeps an
+// account of the work done and the flags raised. Observations are typed
+// per guard (see each guard's Check doc); passing a foreign type panics
+// — a wiring bug, not data.
+type Guard interface {
+	// Check consumes one observation and returns the verdict it implies.
+	Check(obs any) Verdict
+	// Cost returns the accounting so far.
+	Cost() GuardCost
+}
+
+// GuardCost accounts a guard's work: how many observations it examined
+// and how many it flagged as implausible. Flags is the matrix's
+// detection/false-veto numerator; Checks its cost column.
+type GuardCost struct {
+	Checks int
+	Flags  int
+}
 
 // Verdict is a supervisor's judgement about a driver decision or input
 // window.
